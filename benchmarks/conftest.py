@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one figure of the paper.  The figure drivers are
+deterministic but expensive (they run full admission experiments), so each
+one is executed exactly once per benchmark session via
+``benchmark.pedantic(..., rounds=1, iterations=1)`` and its series are
+printed so that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_figure(benchmark, figure_fn, *args, **kwargs):
+    """Run ``figure_fn`` once under pytest-benchmark and print its series."""
+    result = benchmark.pedantic(figure_fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,86 @@
+"""Benchmarks reproducing Figure 4: planning efficiency.
+
+* Fig. 4(a): satisfied vs submitted queries for SQPR (several solver
+  timeouts), the greedy-reuse heuristic and the optimistic bound.
+* Fig. 4(b): the effect of batching query submissions.
+* Fig. 4(c): the effect of query overlap (Zipf factor, base-stream count).
+
+The assertions check the *shape* the paper reports (ordering and
+monotonicity), not absolute numbers — the substrate is a simulator and the
+sizes are scaled down (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.metrics import series_is_non_decreasing
+
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_planning_efficiency(benchmark):
+    result = run_figure(benchmark, figures.fig4a_planning_efficiency)
+    sqpr_curves = {
+        key: series for key, series in result.series.items() if key.startswith("sqpr_timeout")
+    }
+    bound = result.series["optimistic_bound"]
+    heuristic = result.series["heuristic"]
+
+    # Admission curves are cumulative and therefore non-decreasing.
+    for series in list(sqpr_curves.values()) + [bound, heuristic]:
+        assert series_is_non_decreasing(series)
+
+    # Early on (first checkpoint) resources are abundant: every planner
+    # admits essentially every submitted query.
+    first = result.series["submitted"][0]
+    for series in sqpr_curves.values():
+        assert series[0] >= 0.8 * first
+
+    # The best SQPR configuration should be competitive with the heuristic
+    # (the paper reports SQPR strictly above it) and not collapse far below
+    # the optimistic bound.
+    best_sqpr = max(series[-1] for series in sqpr_curves.values())
+    assert best_sqpr >= 0.85 * heuristic[-1]
+    assert best_sqpr >= 0.6 * bound[-1]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_batching(benchmark):
+    result = run_figure(benchmark, figures.fig4b_batching)
+    totals = {
+        key: series[-1]
+        for key, series in result.series.items()
+        if key.startswith("batch_")
+    }
+    for key, series in result.series.items():
+        if key.startswith("batch_"):
+            assert series_is_non_decreasing(series)
+    # Larger batches must not dramatically outperform small batches — the
+    # paper finds batching *reduces* planning efficiency.
+    assert totals["batch_5"] <= totals["batch_2"] + 2
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4c_overlap(benchmark):
+    result = run_figure(benchmark, figures.fig4c_overlap)
+    zipf = result.series["zipf_factor"]
+    assert zipf[0] == 0.0 and zipf[-1] == max(zipf)
+    for key, series in result.series.items():
+        if key.endswith("_base_streams"):
+            # More overlap (higher Zipf factor) admits at least as many
+            # queries (small tolerance for solver-timeout noise).
+            assert series[-1] >= series[0] - 2
+    # For the same Zipf factor, the smaller stream universe (more overlap)
+    # admits at least as many queries as the larger one.
+    small = result.series[f"{min(40, 40)}_base_streams"]
+    keys = sorted(
+        (int(key.split("_")[0]) for key in result.series if key.endswith("_base_streams"))
+    )
+    smallest, largest = keys[0], keys[-1]
+    assert (
+        result.series[f"{smallest}_base_streams"][-1]
+        >= result.series[f"{largest}_base_streams"][-1] - 2
+    )

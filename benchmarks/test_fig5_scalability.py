@@ -1,0 +1,52 @@
+"""Benchmarks reproducing Figure 5: scalability of query planning.
+
+* Fig. 5(a): satisfiable queries vs number of hosts.
+* Fig. 5(b): satisfiable queries vs per-host resources (CPU cores, 10×
+  network capacity).
+* Fig. 5(c): satisfiable queries vs query complexity (2-way .. 5-way joins).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_scalability_hosts(benchmark):
+    result = run_figure(benchmark, figures.fig5a_scalability_hosts)
+    sqpr = result.series["sqpr"]
+    bound = result.series["optimistic_bound"]
+    # More hosts -> at least as many satisfiable queries (small tolerance).
+    assert sqpr[-1] >= sqpr[0] - 2
+    assert bound[-1] >= bound[0]
+    # The optimistic bound stays an upper envelope (up to solver noise).
+    for s, b in zip(sqpr, bound):
+        assert s <= b + 2
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_scalability_resources(benchmark):
+    result = run_figure(benchmark, figures.fig5b_scalability_resources)
+    sqpr = result.series["sqpr"]
+    # Richer hosts admit at least as many queries; with 8x CPU the workload
+    # should be fully admitted or close to it.
+    assert sqpr[-1] >= sqpr[0]
+    assert sqpr[-1] >= 0.8 * max(result.series["optimistic_bound"])
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5c_query_complexity(benchmark):
+    result = run_figure(benchmark, figures.fig5c_query_complexity)
+    sqpr = result.series["sqpr"]
+    # More complex queries consume more resources, so the number of
+    # satisfiable queries must not increase with arity (small tolerance).
+    assert sqpr[-1] <= sqpr[0] + 2
+    # SQPR stays within a constant factor of the optimistic bound across
+    # arities (the paper: efficiency roughly independent of complexity).
+    for s, b in zip(sqpr, result.series["optimistic_bound"]):
+        if b > 0:
+            assert s >= 0.5 * b - 2

@@ -1,0 +1,35 @@
+"""Benchmarks reproducing Figure 6: planning overhead (running times).
+
+* Fig. 6(a): average planning time vs number of hosts.
+* Fig. 6(b): average planning time vs query complexity.
+
+The paper's headline finding is that planning time is much more sensitive to
+the number of hosts than to the query arity; absolute times differ (CPLEX on
+2011 hardware vs HiGHS here) but the trend should hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_planning_time_vs_hosts(benchmark):
+    result = run_figure(benchmark, figures.fig6a_planning_time_vs_hosts)
+    times = result.series["avg_planning_time_s"]
+    assert all(t >= 0.0 for t in times)
+    # Planning time grows with the number of hosts: the largest configuration
+    # must not be cheaper than the smallest one.
+    assert times[-1] >= times[0] * 0.8
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_planning_time_vs_arity(benchmark):
+    result = run_figure(benchmark, figures.fig6b_planning_time_vs_arity)
+    times = result.series["avg_planning_time_s"]
+    assert all(t >= 0.0 for t in times)
+    assert max(times) > 0.0

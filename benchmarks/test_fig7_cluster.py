@@ -1,0 +1,50 @@
+"""Benchmarks reproducing Figure 7: the cluster deployment (SQPR vs SODA).
+
+* Fig. 7(a): satisfied queries per epoch for SQPR and the SODA-like planner.
+* Fig. 7(b): CDF of per-host CPU utilisation at a low and a high load point.
+* Fig. 7(c): CDF of per-host network usage at the same load points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.metrics import series_is_non_decreasing
+
+from benchmarks.conftest import run_figure
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_cluster_efficiency(benchmark):
+    result = run_figure(benchmark, figures.fig7a_cluster_efficiency)
+    sqpr = result.series["sqpr"]
+    soda = result.series["soda"]
+    assert series_is_non_decreasing(sqpr)
+    assert series_is_non_decreasing(soda)
+    # The paper: SQPR admits at least as many queries as SODA, with the gap
+    # opening near saturation.  Allow a small tolerance for solver noise.
+    assert sqpr[-1] >= soda[-1] - 2
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_cpu_distribution(benchmark):
+    result = run_figure(benchmark, figures.fig7b_cpu_distribution)
+    for key, series in result.series.items():
+        if key.endswith("_cdf") and series:
+            assert series[-1] == pytest.approx(1.0)
+            assert series_is_non_decreasing(series)
+        if key.endswith("_cpu_pct") and series:
+            assert all(0.0 <= value <= 120.0 for value in series)
+            assert series_is_non_decreasing(series)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_network_distribution(benchmark):
+    result = run_figure(benchmark, figures.fig7c_network_distribution)
+    for key, series in result.series.items():
+        if key.endswith("_cdf") and series:
+            assert series[-1] == pytest.approx(1.0)
+        if key.endswith("_net_mbps") and series:
+            assert all(value >= 0.0 for value in series)
+            assert series_is_non_decreasing(series)

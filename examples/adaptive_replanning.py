@@ -1,0 +1,77 @@
+"""Adaptive re-planning after cost-estimate drift (§IV-B).
+
+The scenario motivating SQPR's adaptive mode: queries are admitted based on
+*estimated* operator costs; at runtime the resource monitor observes that
+some operators consume more CPU than estimated (here: a drift factor applied
+to a subset of operators), which overloads a host.  The adaptive re-planner
+removes the affected queries, garbage-collects the allocation and re-admits
+them, restoring a feasible, balanced placement.
+
+Run with::
+
+    python examples/adaptive_replanning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveReplanner,
+    PlannerConfig,
+    ResourceMonitor,
+    SQPRPlanner,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+
+def print_cpu(title: str, planner: SQPRPlanner, monitor: ResourceMonitor) -> None:
+    print(title)
+    for host in planner.catalog.host_ids:
+        estimated = planner.allocation.cpu_utilisation(host) * 100
+        observed = (
+            monitor.observed_cpu_used(planner.allocation, host)
+            / planner.catalog.hosts.get(host).cpu_capacity
+            * 100
+        )
+        print(f"  host {host}: estimated {estimated:5.1f}%   observed {observed:5.1f}%")
+    print()
+
+
+def main() -> None:
+    scenario = build_simulation_scenario(
+        SimulationScenarioConfig(num_hosts=5, num_base_streams=25, seed=13)
+    )
+    catalog = scenario.build_catalog()
+    planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
+    monitor = ResourceMonitor(catalog, random_state=13)
+
+    for item in scenario.workload(12, arities=(2, 3)):
+        planner.submit(item)
+    print(f"admitted {planner.num_admitted} queries\n")
+    print_cpu("before drift:", planner, monitor)
+
+    # The monitor observes that some operators cost 80% more than estimated.
+    drifted = 0
+    for host, operator_id in sorted(planner.allocation.placements):
+        if drifted >= 3:
+            break
+        monitor.set_operator_drift(operator_id, 1.8)
+        drifted += 1
+    print_cpu("after drift (estimates unchanged, observations up):", planner, monitor)
+
+    replanner = AdaptiveReplanner(planner, monitor, drift_threshold=0.2)
+    victims = replanner.queries_needing_replan()
+    print(f"queries flagged for re-planning: {victims}")
+    report = replanner.replan(victims)
+    print(
+        f"re-planned {len(report.victims)} queries: "
+        f"{len(report.readmitted)} re-admitted, {len(report.dropped)} dropped\n"
+    )
+    print_cpu("after adaptive re-planning:", planner, monitor)
+
+    violations = planner.allocation.validate()
+    print("allocation constraint check:", "OK" if not violations else violations)
+
+
+if __name__ == "__main__":
+    main()

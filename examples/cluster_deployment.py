@@ -1,0 +1,84 @@
+"""Cluster deployment comparison: SQPR vs the SODA-like planner (§V-B).
+
+Reproduces a miniature version of the paper's Emulab deployment: a 15-host
+cluster on a 10 Mbps LAN with 10 Kbps base streams, queries submitted in
+epochs, and the per-host CPU / network distributions of both planners
+printed as quantiles (the paper plots them as CDFs in Fig. 7).
+
+Run with::
+
+    python examples/cluster_deployment.py [num_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    PlannerConfig,
+    SQPRPlanner,
+    SodaPlanner,
+    build_cluster_scenario,
+    run_admission_experiment,
+)
+from repro.experiments.metrics import percentile
+from repro.experiments.reporting import format_table
+
+
+def main(num_queries: int = 60) -> None:
+    scenario = build_cluster_scenario()
+    workload = scenario.workload(num_queries, arities=(2, 3))
+    epoch = max(5, num_queries // 5)
+
+    sqpr = SQPRPlanner(scenario.build_catalog(), config=PlannerConfig(time_limit=0.3))
+    sqpr_curve = run_admission_experiment(sqpr, workload, checkpoint_every=epoch)
+
+    soda = SodaPlanner(scenario.build_catalog())
+    soda_curve = run_admission_experiment(
+        soda, workload, checkpoint_every=epoch, group_size=epoch
+    )
+
+    rows = [
+        [sub, sqpr_curve.satisfied[i], soda_curve.satisfied[i]]
+        for i, sub in enumerate(sqpr_curve.submitted)
+        if i < len(soda_curve.satisfied)
+    ]
+    print(
+        format_table(
+            ["submitted", "sqpr", "soda"],
+            rows,
+            title="cluster deployment: satisfied queries per epoch",
+        )
+    )
+    print()
+
+    def distribution_rows(planner):
+        allocation = planner.allocation
+        cpu = [allocation.cpu_utilisation(h) * 100 for h in planner.catalog.host_ids]
+        net = [allocation.network_usage(h) for h in planner.catalog.host_ids]
+        return [
+            [percentile(cpu, 25), percentile(cpu, 50), percentile(cpu, 95)],
+            [percentile(net, 25), percentile(net, 50), percentile(net, 95)],
+        ]
+
+    for name, planner in (("SQPR", sqpr), ("SODA", soda)):
+        cpu_row, net_row = distribution_rows(planner)
+        print(
+            format_table(
+                ["p25", "p50", "p95"],
+                [cpu_row],
+                title=f"{name}: per-host CPU utilisation (%)",
+            )
+        )
+        print(
+            format_table(
+                ["p25", "p50", "p95"],
+                [net_row],
+                title=f"{name}: per-host network usage (Mbps)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60)

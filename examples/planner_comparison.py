@@ -1,0 +1,73 @@
+"""Compare SQPR against the greedy-reuse heuristic and the optimistic bound.
+
+This is a miniature version of the paper's Figure 4(a) experiment: the same
+workload is submitted, one query at a time, to SQPR, to the hand-crafted
+heuristic planner and to the aggregate-host optimistic bound, and the
+admission curves are printed side by side.
+
+Run with::
+
+    python examples/planner_comparison.py [num_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    HeuristicPlanner,
+    OptimisticBoundPlanner,
+    PlannerConfig,
+    SQPRPlanner,
+    build_simulation_scenario,
+    run_admission_experiment,
+)
+from repro.experiments.reporting import format_table
+
+
+def main(num_queries: int = 40) -> None:
+    scenario = build_simulation_scenario()
+    workload = scenario.workload(num_queries)
+    checkpoint = max(5, num_queries // 8)
+
+    print(f"scenario: {scenario.num_hosts} hosts, {scenario.num_base_streams} base streams")
+    print(f"workload: {num_queries} queries (2/3/4-way joins, Zipf 1.0)")
+    print()
+
+    sqpr = SQPRPlanner(scenario.build_catalog(), config=PlannerConfig(time_limit=0.3))
+    sqpr_curve = run_admission_experiment(sqpr, workload, checkpoint_every=checkpoint)
+
+    heuristic = HeuristicPlanner(scenario.build_catalog())
+    heuristic_curve = run_admission_experiment(
+        heuristic, workload, checkpoint_every=checkpoint
+    )
+
+    bound = OptimisticBoundPlanner(scenario.build_catalog())
+    bound_curve = run_admission_experiment(bound, workload, checkpoint_every=checkpoint)
+
+    rows = []
+    for index, submitted in enumerate(sqpr_curve.submitted):
+        rows.append(
+            [
+                submitted,
+                sqpr_curve.satisfied[index],
+                heuristic_curve.satisfied[index],
+                bound_curve.satisfied[index],
+            ]
+        )
+    print(
+        format_table(
+            ["submitted", "sqpr", "heuristic", "optimistic bound"],
+            rows,
+            title="satisfied queries vs submitted queries",
+        )
+    )
+    print()
+    print(
+        f"average SQPR planning time: "
+        f"{sqpr_curve.average_planning_time() * 1000:.0f} ms/query"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

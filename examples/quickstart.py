@@ -1,0 +1,64 @@
+"""Quickstart: plan a handful of continuous queries with SQPR.
+
+Builds a small simulated data-centre DSPS, submits a few join queries one at
+a time (exactly like the paper's Algorithm 1), and prints for each query
+whether it was admitted, how long planning took and which hosts ended up
+running its operators.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PlannerConfig,
+    SQPRPlanner,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+    extract_plan,
+)
+
+
+def main() -> None:
+    # A small data-centre: 6 hosts, 30 base streams at 10 Mbps each.
+    scenario = build_simulation_scenario(
+        SimulationScenarioConfig(num_hosts=6, num_base_streams=30, seed=42)
+    )
+    catalog = scenario.build_catalog()
+    planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
+
+    print(catalog.summary())
+    print()
+
+    workload = scenario.workload(10, arities=(2, 3, 4))
+    for item in workload:
+        outcome = planner.submit(item)
+        verdict = "admitted" if outcome.admitted else "rejected"
+        joined = " ⋈ ".join(item.base_names)
+        print(
+            f"query {outcome.query.query_id:>2}  [{joined:<18}]  {verdict:<8} "
+            f"({outcome.planning_time * 1000:6.1f} ms, "
+            f"{outcome.model_size:4d} model variables)"
+        )
+        if outcome.admitted:
+            plan = extract_plan(catalog, planner.allocation, outcome.query.result_stream)
+            hosts = ", ".join(f"h{h}" for h in sorted(plan.hosts_used()))
+            print(f"          plan uses hosts: {hosts}; {plan.num_relays()} relay(s)")
+
+    print()
+    print(f"admitted {planner.num_admitted}/{planner.num_submitted} queries")
+    print("per-host CPU utilisation:")
+    for host in catalog.host_ids:
+        utilisation = planner.allocation.cpu_utilisation(host)
+        bar = "#" * int(utilisation * 40)
+        print(f"  host {host}: {utilisation * 100:5.1f}% {bar}")
+
+    violations = planner.allocation.validate()
+    print()
+    print("allocation constraint check:", "OK" if not violations else violations)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can be installed editable (``pip install -e .``) in
+environments whose setuptools/pip combination lacks the ``wheel`` package
+required for PEP 660 editable installs (``--no-use-pep517`` falls back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

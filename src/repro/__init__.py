@@ -1,0 +1,83 @@
+"""repro — a reproduction of "SQPR: Stream Query Planning with Reuse" (ICDE 2011).
+
+The package is organised as:
+
+* :mod:`repro.milp` — a MILP modelling layer and solvers (the CPLEX
+  substitute),
+* :mod:`repro.dsps` — the distributed stream processing substrate (hosts,
+  streams, operators, queries, plans, allocations, a simulated cluster),
+* :mod:`repro.core` — the SQPR planner itself (reduced optimisation model,
+  Algorithm 1, adaptive re-planning, optimistic bound),
+* :mod:`repro.baselines` — the heuristic planner and a SODA-like planner,
+* :mod:`repro.workloads` — workload generation and evaluation scenarios,
+* :mod:`repro.experiments` — drivers reproducing every figure of §V.
+
+Quickstart
+----------
+>>> from repro import build_simulation_scenario, SQPRPlanner, PlannerConfig
+>>> scenario = build_simulation_scenario()
+>>> catalog = scenario.build_catalog()
+>>> planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=0.5))
+>>> outcome = planner.submit(scenario.workload(1)[0])
+"""
+
+from repro.core.planner import PlannerConfig, PlanningOutcome, SQPRPlanner
+from repro.core.adaptive import AdaptiveReplanner
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.weights import ObjectiveWeights
+from repro.baselines.heuristic import HeuristicPlanner
+from repro.baselines.soda.planner import SodaPlanner
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.engine import ClusterEngine
+from repro.dsps.plan import QueryPlan, extract_plan
+from repro.dsps.query import DecompositionMode, Query, QueryWorkloadItem
+from repro.dsps.resource_monitor import ResourceMonitor
+from repro.milp import MilpSolver, Model, SolverBackend
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import (
+    ClusterScenarioConfig,
+    Scenario,
+    SimulationScenarioConfig,
+    build_cluster_scenario,
+    build_simulation_scenario,
+)
+from repro.experiments.runner import AdmissionCurve, run_admission_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SQPRPlanner",
+    "PlannerConfig",
+    "PlanningOutcome",
+    "AdaptiveReplanner",
+    "OptimisticBoundPlanner",
+    "ObjectiveWeights",
+    "HeuristicPlanner",
+    "SodaPlanner",
+    "Allocation",
+    "PlacementDelta",
+    "SystemCatalog",
+    "LinearCostModel",
+    "ClusterEngine",
+    "QueryPlan",
+    "extract_plan",
+    "DecompositionMode",
+    "Query",
+    "QueryWorkloadItem",
+    "ResourceMonitor",
+    "MilpSolver",
+    "Model",
+    "SolverBackend",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "Scenario",
+    "SimulationScenarioConfig",
+    "ClusterScenarioConfig",
+    "build_simulation_scenario",
+    "build_cluster_scenario",
+    "AdmissionCurve",
+    "run_admission_experiment",
+    "__version__",
+]

@@ -1,0 +1,281 @@
+"""The hand-crafted heuristic planner of §V-A.
+
+For every submitted query the heuristic
+
+1. enumerates the abstract query plans (operator trees that produce the
+   query's result stream from base streams),
+2. for every abstract plan and every host ``h`` tries to implement the plan
+   *at host h*: streams that already exist anywhere in the system are pulled
+   to ``h`` over the network (aggressively favouring complete sub-queries
+   over base streams), everything else is computed locally at ``h``,
+3. scores every feasible candidate with the same weighted objective SQPR
+   uses, and deploys the best one.
+
+Crucially — and this is why SQPR beats it — the heuristic never reconsiders
+previous allocation decisions and never spreads a single query plan over
+multiple hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.weights import ObjectiveWeights
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.query import Query, QueryWorkloadItem
+from repro.exceptions import PlanningError
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class HeuristicOutcome:
+    """Result of planning one query with the heuristic."""
+
+    query: Query
+    admitted: bool
+    duplicate: bool = False
+    planning_time: float = 0.0
+    host: Optional[int] = None
+    plans_considered: int = 0
+
+
+@dataclass
+class _Candidate:
+    """One (abstract plan, host) placement candidate."""
+
+    delta: PlacementDelta
+    score: float
+    host: int
+
+
+class HeuristicPlanner:
+    """Greedy reuse heuristic with exhaustive abstract-plan enumeration."""
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        catalog: SystemCatalog,
+        weights: Optional[ObjectiveWeights] = None,
+        allocation: Optional[Allocation] = None,
+        max_abstract_plans: int = 64,
+    ) -> None:
+        self.catalog = catalog
+        self.weights = weights or ObjectiveWeights.paper_default(catalog)
+        self.allocation = allocation if allocation is not None else Allocation(catalog)
+        self.max_abstract_plans = max_abstract_plans
+        self.outcomes: List[HeuristicOutcome] = []
+
+    # ------------------------------------------------------------- abstract plans
+    def _abstract_plans(self, query: Query) -> List[FrozenSet[int]]:
+        """Enumerate operator sets that can produce the query's result stream."""
+        catalog = self.catalog
+        plans: List[FrozenSet[int]] = []
+
+        def expand(stream_id: int) -> List[FrozenSet[int]]:
+            stream = catalog.streams.get(stream_id)
+            if stream.is_base:
+                return [frozenset()]
+            alternatives: List[FrozenSet[int]] = []
+            for operator in catalog.producers_of(stream_id):
+                if operator.operator_id not in query.candidate_operators:
+                    continue
+                partials: List[FrozenSet[int]] = [frozenset({operator.operator_id})]
+                for input_id in operator.input_streams:
+                    sub_plans = expand(input_id)
+                    combined: List[FrozenSet[int]] = []
+                    for partial in partials:
+                        for sub in sub_plans:
+                            combined.append(partial | sub)
+                            if len(combined) >= self.max_abstract_plans:
+                                break
+                        if len(combined) >= self.max_abstract_plans:
+                            break
+                    partials = combined
+                alternatives.extend(partials)
+                if len(alternatives) >= self.max_abstract_plans:
+                    break
+            return alternatives[: self.max_abstract_plans]
+
+        plans = expand(query.result_stream)
+        return plans[: self.max_abstract_plans]
+
+    # ----------------------------------------------------------------- placement
+    def _try_place(
+        self, query: Query, operators: FrozenSet[int], host: int
+    ) -> Optional[_Candidate]:
+        """Try to implement the abstract plan ``operators`` at ``host``."""
+        catalog = self.catalog
+        allocation = self.allocation
+        host_obj = catalog.hosts.get(host)
+
+        delta = PlacementDelta()
+        delta.admit_queries.add(query.query_id)
+        new_cpu = 0.0
+        inbound: Dict[int, float] = {}  # src host -> added rate into `host`
+        needed: List[int] = [query.result_stream]
+        computed_here: Set[int] = set()
+        pulled: Set[int] = set()
+        by_output = {
+            catalog.get_operator(o).output_stream: catalog.get_operator(o)
+            for o in operators
+        }
+
+        while needed:
+            stream_id = needed.pop()
+            stream = catalog.streams.get(stream_id)
+            if allocation.is_available(host, stream_id) or (host, stream_id) in delta.add_available:
+                continue
+            if stream.is_base and host in catalog.base_hosts_of(stream_id):
+                delta.add_available.add((host, stream_id))
+                continue
+            # Aggressive reuse: pull the stream from any host that has it.
+            existing_hosts = allocation.hosts_with_stream(stream_id)
+            if existing_hosts and stream_id != query.result_stream:
+                source = min(existing_hosts)
+                delta.add_flows.add((source, host, stream_id))
+                delta.add_available.add((host, stream_id))
+                inbound[source] = inbound.get(source, 0.0) + catalog.stream_rate(stream_id)
+                pulled.add(stream_id)
+                continue
+            # Base stream not present here and not yet in the system: pull it
+            # from one of its injection points.
+            if stream.is_base:
+                base_hosts = catalog.base_hosts_of(stream_id)
+                if not base_hosts:
+                    return None
+                source = min(base_hosts)
+                delta.add_flows.add((source, host, stream_id))
+                delta.add_available.add((host, stream_id))
+                delta.add_available.add((source, stream_id))
+                inbound[source] = inbound.get(source, 0.0) + catalog.stream_rate(stream_id)
+                continue
+            # Otherwise compute it locally with the plan's operator.
+            operator = by_output.get(stream_id)
+            if operator is None:
+                return None
+            if operator.operator_id in computed_here:
+                continue
+            computed_here.add(operator.operator_id)
+            delta.add_placements.add((host, operator.operator_id))
+            delta.add_available.add((host, stream_id))
+            new_cpu += operator.cpu_cost
+            needed.extend(operator.input_streams)
+
+        delta.set_provided[query.result_stream] = host
+        delta.add_available.add((host, query.result_stream))
+
+        # ------------------------------------------------------- feasibility check
+        if allocation.cpu_used(host) + new_cpu > host_obj.cpu_capacity + 1e-9:
+            return None
+        added_in = sum(inbound.values())
+        if allocation.in_bandwidth_used(host) + added_in > host_obj.bandwidth_capacity + 1e-9:
+            return None
+        result_rate = catalog.stream_rate(query.result_stream)
+        if (
+            allocation.out_bandwidth_used(host) + result_rate
+            > host_obj.bandwidth_capacity + 1e-9
+        ):
+            return None
+        for source, added_rate in inbound.items():
+            source_obj = catalog.hosts.get(source)
+            if (
+                allocation.out_bandwidth_used(source) + added_rate
+                > source_obj.bandwidth_capacity + 1e-9
+            ):
+                return None
+            if allocation.link_used(source, host) + added_rate > catalog.link_capacity(
+                source, host
+            ) + 1e-9:
+                return None
+
+        # ------------------------------------------------------------------- score
+        network_added = added_in
+        max_load_after = max(
+            allocation.cpu_used(h) + (new_cpu if h == host else 0.0)
+            for h in catalog.host_ids
+        )
+        score = (
+            self.weights.admission
+            - self.weights.network * network_added
+            - self.weights.cpu * new_cpu
+            - self.weights.balance * max_load_after
+        )
+        return _Candidate(delta=delta, score=score, host=host)
+
+    # ---------------------------------------------------------------- submission
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> HeuristicOutcome:
+        """Plan a single query and return the outcome."""
+        watch = Stopwatch()
+        if isinstance(query, QueryWorkloadItem):
+            query = self.catalog.register_query(query)
+        elif not isinstance(query, Query):
+            raise PlanningError(
+                f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
+            )
+
+        if self.allocation.is_provided(query.result_stream):
+            self.allocation.admit_query(query.query_id)
+            outcome = HeuristicOutcome(
+                query=query, admitted=True, duplicate=True, planning_time=watch.elapsed()
+            )
+            self.outcomes.append(outcome)
+            return outcome
+
+        # Direct reuse shortcut: the result stream already exists somewhere
+        # (as an intermediate of another query); providing it only costs
+        # client-delivery bandwidth at that host.
+        existing_hosts = self.allocation.hosts_with_stream(query.result_stream)
+        result_rate = self.catalog.stream_rate(query.result_stream)
+        for host in sorted(existing_hosts):
+            host_obj = self.catalog.hosts.get(host)
+            if (
+                self.allocation.out_bandwidth_used(host) + result_rate
+                <= host_obj.bandwidth_capacity + 1e-9
+            ):
+                delta = PlacementDelta()
+                delta.set_provided[query.result_stream] = host
+                delta.admit_queries.add(query.query_id)
+                self.allocation.apply(delta)
+                outcome = HeuristicOutcome(
+                    query=query,
+                    admitted=True,
+                    planning_time=watch.elapsed(),
+                    host=host,
+                )
+                self.outcomes.append(outcome)
+                return outcome
+
+        best: Optional[_Candidate] = None
+        plans = self._abstract_plans(query)
+        for operators in plans:
+            for host in self.catalog.host_ids:
+                candidate = self._try_place(query, operators, host)
+                if candidate is not None and (best is None or candidate.score > best.score):
+                    best = candidate
+
+        admitted = best is not None
+        if best is not None:
+            self.allocation.apply(best.delta)
+        outcome = HeuristicOutcome(
+            query=query,
+            admitted=admitted,
+            planning_time=watch.elapsed(),
+            host=best.host if best else None,
+            plans_considered=len(plans),
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    # --------------------------------------------------------------- statistics
+    @property
+    def num_admitted(self) -> int:
+        """Number of admitted queries so far."""
+        return len(self.allocation.admitted_queries)
+
+    @property
+    def num_submitted(self) -> int:
+        """Number of submitted queries so far."""
+        return len(self.outcomes)

@@ -1,0 +1,67 @@
+"""SODA's macroQ stage: epoch-level admission control.
+
+macroQ decides *which* queries to admit in an epoch based on their overall
+resource consumption and the remaining system capacity, before any placement
+is attempted.  We reproduce the behaviour relevant to the paper's
+comparison: queries are considered in rank order (submission order here,
+since all queries have equal importance in the experiments), the marginal
+CPU requirement of each template is computed with gluing taken into account
+(operators already running are free), and a query passes admission only if
+the aggregate remaining CPU in the system covers that marginal requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.baselines.soda.templates import QueryTemplate
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+
+
+@dataclass
+class AdmissionDecision:
+    """macroQ's verdict for one template."""
+
+    template: QueryTemplate
+    admitted: bool
+    marginal_cpu: float
+
+
+def marginal_cpu_requirement(
+    catalog: SystemCatalog, allocation: Allocation, template: QueryTemplate
+) -> float:
+    """CPU the template still needs, given operators already running."""
+    total = 0.0
+    for operator_id in template.operators:
+        if not allocation.hosts_of_operator(operator_id):
+            total += catalog.get_operator(operator_id).cpu_cost
+    return total
+
+
+def admit_queries(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    templates: Sequence[QueryTemplate],
+) -> List[AdmissionDecision]:
+    """Run macroQ over ``templates`` in rank order."""
+    decisions: List[AdmissionDecision] = []
+    remaining_cpu = catalog.total_cpu_capacity() - allocation.total_cpu_used()
+    pledged: Set[int] = set()  # operators already counted in this epoch
+    for template in templates:
+        marginal = 0.0
+        newly_needed = []
+        for operator_id in template.operators:
+            if operator_id in pledged or allocation.hosts_of_operator(operator_id):
+                continue
+            marginal += catalog.get_operator(operator_id).cpu_cost
+            newly_needed.append(operator_id)
+        admitted = marginal <= remaining_cpu + 1e-9
+        if admitted:
+            remaining_cpu -= marginal
+            pledged.update(newly_needed)
+        decisions.append(
+            AdmissionDecision(template=template, admitted=admitted, marginal_cpu=marginal)
+        )
+    return decisions

@@ -1,0 +1,143 @@
+"""SODA's macroW stage: operator placement for admitted templates.
+
+macroW assigns each template operator to a host.  The reimplemented
+behaviour follows §V-B:
+
+* templates are placed bottom-up, respecting the fixed query structure;
+* an operator that already runs somewhere (glued with another template) is
+  reused as-is;
+* input streams are used locally when possible, otherwise they are received
+  once from their *original* host (the host that produces them or injects
+  them) — SODA does not relay streams through third hosts;
+* among the feasible hosts, the one minimising added network traffic first
+  and the resulting CPU load second is chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.soda.templates import QueryTemplate
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing one template."""
+
+    success: bool
+    allocation: Allocation
+    placed_operators: List[Tuple[int, int]]  # (host, operator) placed this round
+
+
+def _origin_host(catalog: SystemCatalog, allocation: Allocation, stream_id: int) -> Optional[int]:
+    """The host a stream is originally produced or injected at."""
+    stream = catalog.streams.get(stream_id)
+    if stream.is_base:
+        hosts = catalog.base_hosts_of(stream_id)
+        return min(hosts) if hosts else None
+    for operator in catalog.producers_of(stream_id):
+        hosts = allocation.hosts_of_operator(operator.operator_id)
+        if hosts:
+            return min(hosts)
+    return None
+
+
+def _ensure_stream_at(
+    catalog: SystemCatalog, allocation: Allocation, stream_id: int, host: int
+) -> Optional[float]:
+    """Make ``stream_id`` available at ``host``; return added inbound rate.
+
+    Returns ``None`` when the stream cannot be brought to the host within
+    the bandwidth constraints.
+    """
+    if allocation.is_available(host, stream_id):
+        return 0.0
+    stream = catalog.streams.get(stream_id)
+    if stream.is_base and host in catalog.base_hosts_of(stream_id):
+        allocation.available.add((host, stream_id))
+        return 0.0
+    origin = _origin_host(catalog, allocation, stream_id)
+    if origin is None or origin == host:
+        return None
+    rate = catalog.stream_rate(stream_id)
+    origin_obj = catalog.hosts.get(origin)
+    host_obj = catalog.hosts.get(host)
+    if allocation.out_bandwidth_used(origin) + rate > origin_obj.bandwidth_capacity + 1e-9:
+        return None
+    if allocation.in_bandwidth_used(host) + rate > host_obj.bandwidth_capacity + 1e-9:
+        return None
+    if allocation.link_used(origin, host) + rate > catalog.link_capacity(origin, host) + 1e-9:
+        return None
+    if not allocation.is_available(origin, stream_id):
+        allocation.available.add((origin, stream_id))
+    allocation.flows.add((origin, host, stream_id))
+    allocation.available.add((host, stream_id))
+    return rate
+
+
+def place_template(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    template: QueryTemplate,
+) -> PlacementResult:
+    """Place ``template`` on a *copy* of ``allocation`` (macroW).
+
+    The caller decides whether to adopt the returned allocation.
+    """
+    working = allocation.copy()
+    placed: List[Tuple[int, int]] = []
+
+    for operator_id in template.operators:
+        operator = catalog.get_operator(operator_id)
+        existing_hosts = working.hosts_of_operator(operator_id)
+        if existing_hosts:
+            continue  # glued with an already-running template
+
+        best_host: Optional[int] = None
+        best_key: Optional[Tuple[float, float]] = None
+        best_state: Optional[Allocation] = None
+        for host in catalog.host_ids:
+            host_obj = catalog.hosts.get(host)
+            if working.cpu_used(host) + operator.cpu_cost > host_obj.cpu_capacity + 1e-9:
+                continue
+            trial = working.copy()
+            added_network = 0.0
+            feasible = True
+            for input_id in operator.input_streams:
+                added = _ensure_stream_at(catalog, trial, input_id, host)
+                if added is None:
+                    feasible = False
+                    break
+                added_network += added
+            if not feasible:
+                continue
+            trial.placements.add((host, operator_id))
+            trial.available.add((host, operator.output_stream))
+            key = (added_network, trial.cpu_used(host))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_host = host
+                best_state = trial
+        if best_host is None or best_state is None:
+            return PlacementResult(success=False, allocation=allocation, placed_operators=[])
+        working = best_state
+        placed.append((best_host, operator_id))
+
+    # Deliver the result stream to the client from a host that has it.
+    result_stream = template.result_stream
+    provider_hosts = sorted(working.hosts_with_stream(result_stream))
+    rate = catalog.stream_rate(result_stream)
+    provider = None
+    for host in provider_hosts:
+        host_obj = catalog.hosts.get(host)
+        if working.out_bandwidth_used(host) + rate <= host_obj.bandwidth_capacity + 1e-9:
+            provider = host
+            break
+    if provider is None:
+        return PlacementResult(success=False, allocation=allocation, placed_operators=[])
+    working.provided[result_stream] = provider
+    working.admitted_queries.add(template.query.query_id)
+    return PlacementResult(success=True, allocation=working, placed_operators=placed)

@@ -1,0 +1,107 @@
+"""SODA's miniW stage: local operator swaps.
+
+After macroW has produced a feasible placement, miniW tries to improve it by
+moving single operators between hosts.  A move is accepted when the
+resulting allocation is still feasible and strictly reduces the maximum
+per-host CPU load (the load-balancing objective used in the cluster
+experiments of §V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+
+
+def _rebuild_flows_for_move(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    operator_id: int,
+    old_host: int,
+    new_host: int,
+) -> None:
+    """Adjust flows after moving ``operator_id`` from ``old_host`` to ``new_host``.
+
+    Input streams are re-fetched from their original hosts; the operator's
+    output is re-exported to every host that was receiving it from
+    ``old_host``.  The adjustment is structural only — feasibility is checked
+    afterwards with :meth:`Allocation.validate`.
+    """
+    operator = catalog.get_operator(operator_id)
+
+    # Remove the old placement and its local availability if nothing else
+    # produces the output there.
+    allocation.placements.discard((old_host, operator_id))
+    still_produced = any(
+        catalog.get_operator(o).output_stream == operator.output_stream
+        for (h, o) in allocation.placements
+        if h == old_host
+    )
+    if not still_produced:
+        allocation.available.discard((old_host, operator.output_stream))
+
+    allocation.placements.add((new_host, operator_id))
+    allocation.available.add((new_host, operator.output_stream))
+
+    # Bring inputs to the new host.
+    for input_id in operator.input_streams:
+        if allocation.is_available(new_host, input_id):
+            continue
+        stream = catalog.streams.get(input_id)
+        if stream.is_base and new_host in catalog.base_hosts_of(input_id):
+            allocation.available.add((new_host, input_id))
+            continue
+        candidates = sorted(allocation.hosts_with_stream(input_id))
+        if candidates:
+            source = candidates[0]
+            allocation.flows.add((source, new_host, input_id))
+            allocation.available.add((new_host, input_id))
+
+    # Re-route flows of the output stream that used to leave the old host.
+    rerouted = []
+    for flow in list(allocation.flows):
+        src, dst, stream_id = flow
+        if src == old_host and stream_id == operator.output_stream and not still_produced:
+            allocation.flows.discard(flow)
+            if dst != new_host:
+                rerouted.append((new_host, dst, stream_id))
+    allocation.flows.update(rerouted)
+
+    # Re-home the client delivery if the old host was providing the output.
+    if allocation.provided.get(operator.output_stream) == old_host and not still_produced:
+        allocation.provided[operator.output_stream] = new_host
+
+
+def improve_placement(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    movable: Iterable[Tuple[int, int]],
+) -> Allocation:
+    """Hill-climb over single-operator moves; return the improved allocation."""
+    current = allocation
+    improved = True
+    movable = list(movable)
+    while improved:
+        improved = False
+        current_max = current.max_cpu_used()
+        for index, (host, operator_id) in enumerate(movable):
+            if (host, operator_id) not in current.placements:
+                continue
+            for target in catalog.host_ids:
+                if target == host:
+                    continue
+                trial = current.copy()
+                _rebuild_flows_for_move(catalog, trial, operator_id, host, target)
+                if trial.validate():
+                    continue
+                if trial.max_cpu_used() < current_max - 1e-9:
+                    current = trial
+                    movable[index] = (target, operator_id)
+                    improved = True
+                    current_max = current.max_cpu_used()
+                    break
+            if improved:
+                break
+    return current

@@ -1,0 +1,133 @@
+"""The :class:`SodaPlanner` facade: macroQ → macroW → miniW per epoch.
+
+SODA plans in epochs: a set of newly submitted queries is considered
+together, admission is decided first (macroQ), operators of the admitted
+templates are placed next (macroW), and the placement is polished with local
+swaps (miniW).  Queries not placeable within the epoch are rejected; SODA
+never revisits them and never restructures already-running templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.baselines.soda.macroq import admit_queries
+from repro.baselines.soda.macrow import place_template
+from repro.baselines.soda.miniw import improve_placement
+from repro.baselines.soda.templates import QueryTemplate, build_template
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.query import Query, QueryWorkloadItem
+from repro.exceptions import PlanningError
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class SodaOutcome:
+    """Result of planning one query with SODA."""
+
+    query: Query
+    admitted: bool
+    duplicate: bool = False
+    planning_time: float = 0.0
+    rejected_by: str = ""  # "", "macroq" or "macrow"
+
+
+class SodaPlanner:
+    """Template-based epoch planner in the spirit of SODA [9]."""
+
+    name = "soda"
+
+    def __init__(
+        self,
+        catalog: SystemCatalog,
+        allocation: Optional[Allocation] = None,
+        use_miniw: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.allocation = allocation if allocation is not None else Allocation(catalog)
+        self.use_miniw = use_miniw
+        self.outcomes: List[SodaOutcome] = []
+
+    # ---------------------------------------------------------------- submission
+    def _resolve(self, query: Union[Query, QueryWorkloadItem]) -> Query:
+        if isinstance(query, QueryWorkloadItem):
+            return self.catalog.register_query(query)
+        if isinstance(query, Query):
+            return query
+        raise PlanningError(
+            f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
+        )
+
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> SodaOutcome:
+        """Plan a single query (an epoch of size one)."""
+        return self.submit_epoch([query])[0]
+
+    def submit_epoch(
+        self, queries: Sequence[Union[Query, QueryWorkloadItem]]
+    ) -> List[SodaOutcome]:
+        """Plan one epoch of queries: macroQ, then macroW + miniW per query."""
+        watch = Stopwatch()
+        resolved = [self._resolve(q) for q in queries]
+        outcomes: List[SodaOutcome] = []
+
+        # Duplicate queries (result stream already delivered) are free.
+        to_plan: List[Query] = []
+        for query in resolved:
+            if self.allocation.is_provided(query.result_stream):
+                self.allocation.admit_query(query.query_id)
+                outcomes.append(
+                    SodaOutcome(query=query, admitted=True, duplicate=True)
+                )
+            else:
+                to_plan.append(query)
+
+        templates = [build_template(self.catalog, q) for q in to_plan]
+        decisions = admit_queries(self.catalog, self.allocation, templates)
+
+        for decision in decisions:
+            template = decision.template
+            query = template.query
+            if not decision.admitted:
+                outcomes.append(
+                    SodaOutcome(query=query, admitted=False, rejected_by="macroq")
+                )
+                continue
+            placement = place_template(self.catalog, self.allocation, template)
+            if not placement.success:
+                outcomes.append(
+                    SodaOutcome(query=query, admitted=False, rejected_by="macrow")
+                )
+                continue
+            candidate = placement.allocation
+            if self.use_miniw and placement.placed_operators:
+                candidate = improve_placement(
+                    self.catalog, candidate, placement.placed_operators
+                )
+            self.allocation = candidate
+            outcomes.append(SodaOutcome(query=query, admitted=True))
+
+        elapsed = watch.elapsed()
+        per_query = elapsed / max(1, len(resolved))
+        for outcome in outcomes:
+            outcome.planning_time = per_query
+        ordered = self._reorder(resolved, outcomes)
+        self.outcomes.extend(ordered)
+        return ordered
+
+    @staticmethod
+    def _reorder(resolved: Sequence[Query], outcomes: Sequence[SodaOutcome]) -> List[SodaOutcome]:
+        by_query = {o.query.query_id: o for o in outcomes}
+        return [by_query[q.query_id] for q in resolved]
+
+    # --------------------------------------------------------------- statistics
+    @property
+    def num_admitted(self) -> int:
+        """Number of admitted queries so far."""
+        return len(self.allocation.admitted_queries)
+
+    @property
+    def num_submitted(self) -> int:
+        """Number of submitted queries so far."""
+        return len(self.outcomes)

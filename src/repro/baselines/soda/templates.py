@@ -1,0 +1,85 @@
+"""Query templates and template gluing.
+
+In SODA, users submit queries as *templates*: a fixed operator graph whose
+structure the scheduler must respect in every epoch ("the SODA scheduler is
+bound by the initial user-given query plan").  Reuse across templates is
+achieved by gluing: when two templates contain an operator producing the same
+stream, the stream is generated once and shared.
+
+In this reproduction the template of a join query is its canonical left-deep
+operator chain (the same canonical decomposition the catalog registers), so
+templates of overlapping queries naturally share prefix operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.query import Query, canonical_chain
+from repro.exceptions import PlanningError
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """The fixed operator chain of one query.
+
+    ``operators`` is ordered bottom-up: the first operator joins the first
+    two base streams, the last produces the query's result stream.
+    """
+
+    query: Query
+    operators: Tuple[int, ...]
+
+    @property
+    def result_stream(self) -> int:
+        """The stream the template delivers to the client."""
+        return self.query.result_stream
+
+    def total_cpu(self, catalog: SystemCatalog) -> float:
+        """CPU cost of running the full template (no gluing)."""
+        return sum(catalog.get_operator(o).cpu_cost for o in self.operators)
+
+
+def build_template(catalog: SystemCatalog, query: Query) -> QueryTemplate:
+    """Build the canonical left-deep template for ``query``.
+
+    Works for both catalog decomposition modes: the canonical chain's
+    operators are looked up among the query's candidate operators (they are
+    always registered, because the exhaustive decomposition is a superset of
+    the canonical one).
+    """
+    sorted_bases = sorted(query.base_streams)
+    chain = canonical_chain(sorted_bases)
+    operators: List[int] = []
+    previous_stream = sorted_bases[0]
+    for index, subset in enumerate(chain):
+        next_base = sorted_bases[index + 1]
+        output = catalog.streams.find_equivalent("join", subset)
+        if output is None:
+            raise PlanningError(
+                f"query {query.query_id} has no registered stream for {sorted(subset)}"
+            )
+        wanted_inputs = frozenset({previous_stream, next_base})
+        chosen = None
+        for operator in catalog.producers_of(output.stream_id):
+            if operator.input_streams == wanted_inputs:
+                chosen = operator
+                break
+        if chosen is None:
+            # Fall back to any candidate producer of the stream (can happen
+            # for exhaustive decompositions registered by other queries).
+            producers = [
+                op
+                for op in catalog.producers_of(output.stream_id)
+                if op.operator_id in query.candidate_operators
+            ]
+            if not producers:
+                raise PlanningError(
+                    f"no producer registered for stream {output.name!r}"
+                )
+            chosen = producers[0]
+        operators.append(chosen.operator_id)
+        previous_stream = output.stream_id
+    return QueryTemplate(query=query, operators=tuple(operators))

@@ -1,0 +1,123 @@
+"""Adaptive query re-planning (§IV-B).
+
+SQPR stores the resource estimates used at admission time, monitors the
+observed consumption, and periodically re-plans queries whose consumption
+drifted beyond a threshold or that sit on an overloaded host.  Re-planning is
+implemented exactly as the paper describes it — "considering the system
+without those queries and re-adding them":
+
+1. the victim queries are removed from the admitted set,
+2. the allocation is garbage-collected down to the structures still needed
+   by the surviving queries (:func:`garbage_collect`), and
+3. the victims are re-submitted through the normal planner path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.planner import PlanningOutcome, SQPRPlanner
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.plan import extract_plan, rebuild_minimal_allocation
+from repro.dsps.resource_monitor import ResourceMonitor
+from repro.exceptions import PlanError
+
+
+def garbage_collect(catalog: SystemCatalog, allocation: Allocation) -> Allocation:
+    """Rebuild an allocation containing only what admitted queries still need.
+
+    Thin wrapper around
+    :func:`repro.dsps.plan.rebuild_minimal_allocation`, kept here because
+    adaptive re-planning is its primary consumer (§IV-B's "considering the
+    system without those queries").
+    """
+    return rebuild_minimal_allocation(catalog, allocation)
+
+
+@dataclass
+class ReplanReport:
+    """Summary of one adaptive re-planning round."""
+
+    victims: List[int] = field(default_factory=list)
+    readmitted: List[int] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
+
+    @property
+    def fully_recovered(self) -> bool:
+        """Whether every victim query was re-admitted."""
+        return not self.dropped
+
+
+class AdaptiveReplanner:
+    """Drives adaptive re-planning on top of an :class:`SQPRPlanner`."""
+
+    def __init__(
+        self,
+        planner: SQPRPlanner,
+        monitor: ResourceMonitor,
+        drift_threshold: float = 0.1,
+    ) -> None:
+        self.planner = planner
+        self.monitor = monitor
+        self.drift_threshold = drift_threshold
+
+    # ----------------------------------------------------------- victim choice
+    def queries_needing_replan(self) -> List[int]:
+        """Admitted queries whose consumption drifted or whose host overloads."""
+        catalog = self.planner.catalog
+        allocation = self.planner.allocation
+        drifted_ops = set(self.monitor.drifted_operators(self.drift_threshold))
+        overloaded = set(self.monitor.overloaded_hosts(allocation))
+
+        victims: Set[int] = set()
+        for query_id in allocation.admitted_queries:
+            query = catalog.get_query(query_id)
+            if set(query.candidate_operators) & drifted_ops:
+                victims.add(query_id)
+                continue
+            try:
+                plan = extract_plan(catalog, allocation, query.result_stream)
+            except PlanError:
+                victims.add(query_id)
+                continue
+            if set(plan.hosts_used()) & overloaded:
+                victims.add(query_id)
+        return sorted(victims)
+
+    # --------------------------------------------------------------- replanning
+    def replan(self, victim_ids: Optional[Iterable[int]] = None) -> ReplanReport:
+        """Remove the victims, garbage-collect and re-admit them one by one."""
+        catalog = self.planner.catalog
+        allocation = self.planner.allocation
+        if victim_ids is None:
+            victim_ids = self.queries_needing_replan()
+        victims = [qid for qid in victim_ids if qid in allocation.admitted_queries]
+        report = ReplanReport(victims=list(victims))
+        if not victims:
+            return report
+
+        # Step 1: conceptually remove the victims from the system.
+        allocation.admitted_queries -= set(victims)
+        for victim in victims:
+            query = catalog.get_query(victim)
+            still_wanted = any(
+                catalog.get_query(qid).result_stream == query.result_stream
+                for qid in allocation.admitted_queries
+            )
+            if not still_wanted:
+                allocation.provided.pop(query.result_stream, None)
+
+        # Step 2: drop structures no surviving query needs.
+        self.planner.allocation = garbage_collect(catalog, allocation)
+
+        # Step 3: re-add the victims through the normal planning path.
+        for victim in victims:
+            query = catalog.get_query(victim)
+            outcome = self.planner.submit(query)
+            if outcome.admitted:
+                report.readmitted.append(victim)
+            else:
+                report.dropped.append(victim)
+        return report

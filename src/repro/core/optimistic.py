@@ -1,0 +1,132 @@
+"""The optimistic upper bound of §V-A.
+
+All hosts are merged into a single "aggregate host" that owns every base
+stream and the sum of all CPU resources; network constraints vanish.  The
+number of queries this aggregate host can satisfy upper-bounds what any real
+planner can achieve, because any feasible distributed allocation can be
+collapsed onto the aggregate host.
+
+With a single host and no network, the optimisation model collapses to a
+covering problem that admits the analytical greedy solution implemented
+here: process queries in submission order, pay only for the operators whose
+output streams are not yet produced (perfect reuse), and admit a query while
+the aggregate CPU budget allows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Union
+
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.query import Query, QueryWorkloadItem
+from repro.exceptions import PlanningError
+
+
+@dataclass
+class OptimisticOutcome:
+    """Admission decision of the optimistic bound for one query."""
+
+    query: Query
+    admitted: bool
+    marginal_cpu: float
+
+
+class OptimisticBoundPlanner:
+    """Upper bound on the number of satisfiable queries."""
+
+    name = "optimistic"
+
+    def __init__(self, catalog: SystemCatalog) -> None:
+        self.catalog = catalog
+        self.cpu_capacity = catalog.total_cpu_capacity()
+        self.cpu_used = 0.0
+        self._produced_streams: Set[int] = set()
+        self.outcomes: List[OptimisticOutcome] = []
+        self._admitted_results: Set[int] = set()
+
+    def _resolve(self, query: Union[Query, QueryWorkloadItem]) -> Query:
+        if isinstance(query, QueryWorkloadItem):
+            return self.catalog.register_query(query)
+        if isinstance(query, Query):
+            return query
+        raise PlanningError(
+            f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
+        )
+
+    def _cheapest_plan_cost(self, query: Query) -> tuple:
+        """CPU cost and operator set of the cheapest plan with full reuse.
+
+        For the canonical decomposition there is exactly one plan; for the
+        exhaustive decomposition we greedily pick, for each needed stream,
+        the cheapest producer whose inputs are recursively obtainable.
+        Streams already produced for earlier queries cost nothing.
+        """
+        produced = self._produced_streams
+
+        memo = {}
+
+        def cost_of_stream(stream_id: int, visiting: frozenset) -> Optional[tuple]:
+            stream = self.catalog.streams.get(stream_id)
+            if stream.is_base or stream_id in produced:
+                return (0.0, frozenset())
+            if stream_id in memo:
+                return memo[stream_id]
+            if stream_id in visiting:
+                return None
+            best: Optional[tuple] = None
+            for operator in self.catalog.producers_of(stream_id):
+                if operator.operator_id not in query.candidate_operators:
+                    continue
+                total = operator.cpu_cost
+                operators = {operator.operator_id}
+                feasible = True
+                for input_id in operator.input_streams:
+                    sub = cost_of_stream(input_id, visiting | {stream_id})
+                    if sub is None:
+                        feasible = False
+                        break
+                    total += sub[0]
+                    operators |= set(sub[1])
+                if feasible and (best is None or total < best[0]):
+                    best = (total, frozenset(operators))
+            memo[stream_id] = best
+            return best
+
+        result = cost_of_stream(query.result_stream, frozenset())
+        if result is None:
+            raise PlanningError(
+                f"query {query.query_id} has no producible plan in the catalog"
+            )
+        return result
+
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> OptimisticOutcome:
+        """Decide admission of one query under the aggregate-host relaxation."""
+        query = self._resolve(query)
+        if query.result_stream in self._admitted_results:
+            outcome = OptimisticOutcome(query=query, admitted=True, marginal_cpu=0.0)
+            self.outcomes.append(outcome)
+            return outcome
+        marginal_cpu, operators = self._cheapest_plan_cost(query)
+        admitted = self.cpu_used + marginal_cpu <= self.cpu_capacity + 1e-9
+        if admitted:
+            self.cpu_used += marginal_cpu
+            self._admitted_results.add(query.result_stream)
+            # Mark every intermediate stream of the chosen plan as produced.
+            for operator_id in operators:
+                operator = self.catalog.get_operator(operator_id)
+                self._produced_streams.add(operator.output_stream)
+        outcome = OptimisticOutcome(query=query, admitted=admitted, marginal_cpu=marginal_cpu)
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def num_admitted(self) -> int:
+        """Number of queries admitted so far."""
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def num_submitted(self) -> int:
+        """Number of queries submitted so far."""
+        return len(self.outcomes)

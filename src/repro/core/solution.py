@@ -1,0 +1,107 @@
+"""Decode a MILP solution into an allocation delta.
+
+The reduced model's solution assigns values to the d/x/y/z variables of the
+scope.  Decoding turns that assignment into a
+:class:`~repro.dsps.allocation.PlacementDelta`:
+
+* in *replan* mode every existing structure touching a scope stream or scope
+  operator is removed and replaced by the structures the solver selected;
+* in *frozen* mode nothing is removed — only new structures are added.
+
+Decoding also reports which of the new queries were admitted (their result
+stream is provided by some host in the solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.model_builder import SqprModel
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.catalog import SystemCatalog
+from repro.milp.result import SolveResult
+
+_ONE = 0.5  # threshold above which a binary variable counts as 1
+
+
+@dataclass
+class DecodedSolution:
+    """The outcome of decoding one solve: a delta plus admission info."""
+
+    delta: PlacementDelta
+    admitted_new_queries: FrozenSet[int]
+    rejected_new_queries: FrozenSet[int]
+
+    @property
+    def admitted_any(self) -> bool:
+        """Whether at least one new query was admitted."""
+        return bool(self.admitted_new_queries)
+
+
+def decode_solution(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    built: SqprModel,
+    result: SolveResult,
+) -> DecodedSolution:
+    """Translate ``result`` (for ``built``) into a :class:`DecodedSolution`."""
+    delta = PlacementDelta()
+    scope = built.scope
+
+    # Tear down only what the model was actually free to re-decide; structures
+    # shared with admitted queries outside the re-planning set (and everything
+    # in frozen mode) are protected and stay in place.
+    for flow in allocation.flows:
+        if flow[2] in built.teardown_streams:
+            delta.remove_flows.add(flow)
+    for avail in allocation.available:
+        if avail[1] in built.teardown_streams:
+            delta.remove_available.add(avail)
+    for placement in allocation.placements:
+        if placement[1] in built.teardown_operators:
+            delta.remove_placements.add(placement)
+    for stream_id in list(allocation.provided):
+        if stream_id in built.teardown_streams:
+            delta.unset_provided.add(stream_id)
+
+    # Add back what the solver selected.
+    for (h, s), var in built.y_vars.items():
+        if result.value(var) > _ONE:
+            delta.add_available.add((h, s))
+    for (h, m, s), var in built.x_vars.items():
+        if result.value(var) > _ONE:
+            delta.add_flows.add((h, m, s))
+    for (h, o), var in built.z_vars.items():
+        if result.value(var) > _ONE:
+            delta.add_placements.add((h, o))
+    for (h, s), var in built.d_vars.items():
+        if result.value(var) > _ONE:
+            delta.set_provided[s] = h
+
+    # In frozen mode structures kept through credits stay implicitly; make
+    # sure streams available through credits that the solution relies on are
+    # marked available (they already are in the live allocation).
+
+    admitted: Set[int] = set()
+    rejected: Set[int] = set()
+    for query_id in scope.new_queries:
+        query = catalog.get_query(query_id)
+        provided_now = query.result_stream in delta.set_provided
+        provided_before = (
+            built.frozen_mode and allocation.is_provided(query.result_stream)
+        )
+        if provided_now or provided_before:
+            admitted.add(query_id)
+        else:
+            rejected.add(query_id)
+    delta.admit_queries = set(admitted)
+    # Replanned queries stay admitted (IV.9 guarantees their streams remain
+    # provided); record them so the delta is self-contained.
+    delta.admit_queries |= set(scope.replanned_queries)
+
+    return DecodedSolution(
+        delta=delta,
+        admitted_new_queries=frozenset(admitted),
+        rejected_new_queries=frozenset(rejected),
+    )

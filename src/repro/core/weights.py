@@ -1,0 +1,77 @@
+"""Objective weights λ1..λ4 of the SQPR optimisation model (§III-B, §IV-A).
+
+The combined objective is::
+
+    maximise  λ1·O1 − λ2·O2 − λ3·O3 − λ4·O4
+
+with O1 = number of satisfied queries, O2 = system-wide network usage,
+O3 = system-wide CPU usage and O4 = maximum CPU usage on any single host.
+
+The paper's default setting (§IV-A) makes O1 lexicographically dominant
+(λ1 = "a sufficiently large number"), normalises O2 and O3 by the total
+available bandwidth and CPU respectively, and balances O3 against O4.  The
+text of the paper assigns ``1/Σβ_h`` to λ2 and ``1/Σκ_hm`` to λ3; since O2 is
+the network objective and O3 the CPU objective, we interpret this as a
+typographical slip and normalise each objective by the capacity of *its own*
+resource, which is what makes the weighted sum dimensionless.  The
+``load_balancing`` knob below reproduces the (λ3, λ4) trade-off discussed in
+§III-B: 0 → pure total-CPU minimisation, 1 → pure load balancing, 0.5 →
+the paper's "same weight" default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsps.catalog import SystemCatalog
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """The four objective weights of problem (III.8)."""
+
+    admission: float  # λ1, weight of O1
+    network: float  # λ2, weight of O2
+    cpu: float  # λ3, weight of O3
+    balance: float  # λ4, weight of O4
+
+    def __post_init__(self) -> None:
+        check_non_negative("admission weight", self.admission)
+        check_non_negative("network weight", self.network)
+        check_non_negative("cpu weight", self.cpu)
+        check_non_negative("balance weight", self.balance)
+
+    @classmethod
+    def paper_default(
+        cls,
+        catalog: SystemCatalog,
+        load_balancing: float = 0.5,
+        admission_weight: float = 1000.0,
+    ) -> "ObjectiveWeights":
+        """The §IV-A weight setting for a given catalog.
+
+        Parameters
+        ----------
+        load_balancing:
+            Trade-off θ between minimising total CPU (θ = 0) and balancing
+            the per-host maximum (θ = 1).  The paper's default corresponds to
+            θ = 0.5 ("the same weight").
+        admission_weight:
+            The "sufficiently large" λ1 making admission dominate.
+        """
+        check_probability("load_balancing", load_balancing)
+        total_bandwidth = max(catalog.total_bandwidth_capacity(), 1e-9)
+        total_cpu = max(catalog.total_cpu_capacity(), 1e-9)
+        cpu_norm = 1.0 / total_cpu
+        return cls(
+            admission=admission_weight,
+            network=1.0 / total_bandwidth,
+            cpu=(1.0 - load_balancing) * 2.0 * cpu_norm,
+            balance=load_balancing * 2.0 * cpu_norm,
+        )
+
+    @classmethod
+    def admission_only(cls, admission_weight: float = 1000.0) -> "ObjectiveWeights":
+        """Maximise the number of admitted queries and nothing else."""
+        return cls(admission=admission_weight, network=0.0, cpu=0.0, balance=0.0)

@@ -1,0 +1,51 @@
+"""The distributed stream processing system (DSPS) substrate.
+
+This subpackage models everything the SQPR planner plans *over*:
+
+* hosts with CPU and network-interface capacities (:mod:`hosts`),
+* the pairwise network topology (:mod:`network`),
+* base and composite streams with equivalence-based identity (:mod:`stream`),
+* query operators, including the relay operator µ (:mod:`operators`),
+* continuous queries built from k-way joins (:mod:`query`),
+* a linear cost model for CPU and rate propagation (:mod:`cost_model`),
+* query-plan trees and their validity conditions C1–C4 (:mod:`plan`),
+* the live allocation state with exact resource accounting
+  (:mod:`allocation`),
+* resource monitors with configurable drift (:mod:`resource_monitor`), and
+* a simulated DISSP-like cluster engine (:mod:`engine`).
+"""
+
+from repro.dsps.stream import Stream, StreamKind, StreamRegistry
+from repro.dsps.operators import Operator, OperatorKind, RELAY_OPERATOR_NAME
+from repro.dsps.hosts import Host
+from repro.dsps.network import NetworkTopology
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.query import Query, QueryWorkloadItem
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.plan import PlanNode, QueryPlan
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
+from repro.dsps.engine import ClusterEngine, DeploymentReport
+
+__all__ = [
+    "Stream",
+    "StreamKind",
+    "StreamRegistry",
+    "Operator",
+    "OperatorKind",
+    "RELAY_OPERATOR_NAME",
+    "Host",
+    "NetworkTopology",
+    "SystemCatalog",
+    "Query",
+    "QueryWorkloadItem",
+    "LinearCostModel",
+    "PlanNode",
+    "QueryPlan",
+    "Allocation",
+    "PlacementDelta",
+    "ResourceMonitor",
+    "ResourceSample",
+    "ClusterEngine",
+    "DeploymentReport",
+]

@@ -1,0 +1,337 @@
+"""The live allocation state (d, x, y, z) and its resource accounting.
+
+An :class:`Allocation` mirrors the decision variables of the optimisation
+model of §III-B as concrete sets:
+
+* ``provided``   — d: which host serves each requested stream to clients,
+* ``flows``      — x: which streams are shipped between which host pairs,
+* ``available``  — y: which streams are available at which hosts,
+* ``placements`` — z: which operators execute on which hosts.
+
+It also tracks which queries have been admitted, computes the induced
+resource usage (CPU per host, in/out host bandwidth, per-link bandwidth) and
+can validate itself against the catalog: capacity constraints (III.6),
+availability implications (III.5), demand constraints (III.4) and acyclicity
+(III.7, checked structurally per stream).
+
+Planners never mutate an allocation in place while exploring: they build a
+:class:`PlacementDelta` and apply it only once a query is admitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.dsps.catalog import SystemCatalog
+from repro.exceptions import AllocationError
+
+FlowKey = Tuple[int, int, int]  # (src host, dst host, stream)
+AvailKey = Tuple[int, int]  # (host, stream)
+PlaceKey = Tuple[int, int]  # (host, operator)
+
+
+@dataclass
+class PlacementDelta:
+    """A set of changes to apply atomically to an :class:`Allocation`."""
+
+    add_flows: Set[FlowKey] = field(default_factory=set)
+    remove_flows: Set[FlowKey] = field(default_factory=set)
+    add_available: Set[AvailKey] = field(default_factory=set)
+    remove_available: Set[AvailKey] = field(default_factory=set)
+    add_placements: Set[PlaceKey] = field(default_factory=set)
+    remove_placements: Set[PlaceKey] = field(default_factory=set)
+    set_provided: Dict[int, int] = field(default_factory=dict)
+    unset_provided: Set[int] = field(default_factory=set)
+    admit_queries: Set[int] = field(default_factory=set)
+
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not any(
+            (
+                self.add_flows,
+                self.remove_flows,
+                self.add_available,
+                self.remove_available,
+                self.add_placements,
+                self.remove_placements,
+                self.set_provided,
+                self.unset_provided,
+                self.admit_queries,
+            )
+        )
+
+
+class Allocation:
+    """The global placement state of the DSPS."""
+
+    def __init__(self, catalog: SystemCatalog) -> None:
+        self.catalog = catalog
+        self.provided: Dict[int, int] = {}
+        self.flows: Set[FlowKey] = set()
+        self.available: Set[AvailKey] = set()
+        self.placements: Set[PlaceKey] = set()
+        self.admitted_queries: Set[int] = set()
+
+    # ---------------------------------------------------------------- copying
+    def copy(self) -> "Allocation":
+        """A deep-enough copy sharing the (immutable) catalog."""
+        clone = Allocation(self.catalog)
+        clone.provided = dict(self.provided)
+        clone.flows = set(self.flows)
+        clone.available = set(self.available)
+        clone.placements = set(self.placements)
+        clone.admitted_queries = set(self.admitted_queries)
+        return clone
+
+    # ---------------------------------------------------------------- queries
+    def is_provided(self, stream_id: int) -> bool:
+        """Whether some host currently serves ``stream_id`` to clients."""
+        return stream_id in self.provided
+
+    def provider_of(self, stream_id: int) -> Optional[int]:
+        """The host serving ``stream_id`` to clients, if any."""
+        return self.provided.get(stream_id)
+
+    def is_available(self, host: int, stream_id: int) -> bool:
+        """Whether stream ``stream_id`` is available at ``host`` (y)."""
+        return (host, stream_id) in self.available
+
+    def has_placement(self, host: int, operator_id: int) -> bool:
+        """Whether operator ``operator_id`` runs on ``host`` (z)."""
+        return (host, operator_id) in self.placements
+
+    def hosts_with_stream(self, stream_id: int) -> FrozenSet[int]:
+        """All hosts at which the stream is available."""
+        return frozenset(h for (h, s) in self.available if s == stream_id)
+
+    def hosts_of_operator(self, operator_id: int) -> FrozenSet[int]:
+        """All hosts on which the operator is placed."""
+        return frozenset(h for (h, o) in self.placements if o == operator_id)
+
+    def flow_sources(self, host: int, stream_id: int) -> List[int]:
+        """Hosts currently sending ``stream_id`` to ``host``."""
+        return sorted(src for (src, dst, s) in self.flows if dst == host and s == stream_id)
+
+    def operators_on(self, host: int) -> FrozenSet[int]:
+        """Operators placed on ``host``."""
+        return frozenset(o for (h, o) in self.placements if h == host)
+
+    # ----------------------------------------------------------- resource usage
+    def cpu_used(self, host: int, exclude_operators: Optional[Set[int]] = None) -> float:
+        """CPU consumed on ``host`` (optionally excluding some operators)."""
+        exclude = exclude_operators or set()
+        return sum(
+            self.catalog.get_operator(o).cpu_cost
+            for (h, o) in self.placements
+            if h == host and o not in exclude
+        )
+
+    def out_bandwidth_used(self, host: int, exclude_streams: Optional[Set[int]] = None) -> float:
+        """Outgoing bandwidth used at ``host`` — flows out plus client delivery."""
+        exclude = exclude_streams or set()
+        total = sum(
+            self.catalog.stream_rate(s)
+            for (src, _dst, s) in self.flows
+            if src == host and s not in exclude
+        )
+        total += sum(
+            self.catalog.stream_rate(s)
+            for s, h in self.provided.items()
+            if h == host and s not in exclude
+        )
+        return total
+
+    def in_bandwidth_used(self, host: int, exclude_streams: Optional[Set[int]] = None) -> float:
+        """Incoming bandwidth used at ``host`` from flows."""
+        exclude = exclude_streams or set()
+        return sum(
+            self.catalog.stream_rate(s)
+            for (_src, dst, s) in self.flows
+            if dst == host and s not in exclude
+        )
+
+    def link_used(self, src: int, dst: int, exclude_streams: Optional[Set[int]] = None) -> float:
+        """Bandwidth used on the directed link ``src -> dst``."""
+        exclude = exclude_streams or set()
+        return sum(
+            self.catalog.stream_rate(s)
+            for (h, m, s) in self.flows
+            if h == src and m == dst and s not in exclude
+        )
+
+    def cpu_utilisation(self, host: int) -> float:
+        """Fraction of the host's CPU capacity in use (0..1+)."""
+        capacity = self.catalog.hosts.get(host).cpu_capacity
+        return self.cpu_used(host) / capacity if capacity > 0 else 0.0
+
+    def network_usage(self, host: int) -> float:
+        """Total data rate sent plus received by ``host`` (for Fig. 7c)."""
+        return self.out_bandwidth_used(host) + self.in_bandwidth_used(host)
+
+    def max_cpu_used(self) -> float:
+        """The O4 objective value: maximum CPU consumption over hosts."""
+        if self.catalog.num_hosts == 0:
+            return 0.0
+        return max(self.cpu_used(h) for h in self.catalog.host_ids)
+
+    def total_cpu_used(self) -> float:
+        """The O3 objective value: system-wide CPU consumption."""
+        return sum(self.cpu_used(h) for h in self.catalog.host_ids)
+
+    def total_network_used(self) -> float:
+        """The O2 objective value: system-wide inter-host traffic."""
+        return sum(self.catalog.stream_rate(s) for (_h, _m, s) in self.flows)
+
+    # ---------------------------------------------------------------- mutation
+    def apply(self, delta: PlacementDelta) -> None:
+        """Apply ``delta`` in place (removals first, then additions)."""
+        self.flows -= delta.remove_flows
+        self.available -= delta.remove_available
+        self.placements -= delta.remove_placements
+        for stream_id in delta.unset_provided:
+            self.provided.pop(stream_id, None)
+        self.flows |= delta.add_flows
+        self.available |= delta.add_available
+        self.placements |= delta.add_placements
+        self.provided.update(delta.set_provided)
+        self.admitted_queries |= delta.admit_queries
+
+    def admit_query(self, query_id: int) -> None:
+        """Mark a query as admitted."""
+        self.admitted_queries.add(query_id)
+
+    # -------------------------------------------------------------- validation
+    def validate(self, tol: float = 1e-6) -> List[str]:
+        """Check the allocation against all model constraints; list violations."""
+        violations: List[str] = []
+        catalog = self.catalog
+
+        # Demand constraints (III.4): provided streams must be requested and
+        # available at the providing host.
+        requested = catalog.requested_streams
+        for stream_id, host in self.provided.items():
+            if stream_id not in requested:
+                violations.append(
+                    f"demand: stream {stream_id} is provided but not requested"
+                )
+            if (host, stream_id) not in self.available:
+                violations.append(
+                    f"demand: host {host} provides stream {stream_id} without having it"
+                )
+
+        # Availability constraints (III.5): y implies a source; x and z imply y.
+        for host, stream_id in self.available:
+            stream = catalog.streams.get(stream_id)
+            has_flow_in = any(
+                dst == host and s == stream_id for (_src, dst, s) in self.flows
+            )
+            generates = any(
+                catalog.get_operator(o).output_stream == stream_id
+                for (h, o) in self.placements
+                if h == host
+            )
+            is_base_here = stream.is_base and host in catalog.base_hosts_of(stream_id)
+            if not (has_flow_in or generates or is_base_here):
+                violations.append(
+                    f"availability: stream {stream_id} marked available at host "
+                    f"{host} with no source"
+                )
+        for host, operator_id in self.placements:
+            operator = catalog.get_operator(operator_id)
+            for input_id in operator.input_streams:
+                if (host, input_id) not in self.available:
+                    violations.append(
+                        f"availability: operator {operator_id} on host {host} "
+                        f"misses input stream {input_id}"
+                    )
+        for src, dst, stream_id in self.flows:
+            if (src, stream_id) not in self.available:
+                violations.append(
+                    f"availability: host {src} sends stream {stream_id} to "
+                    f"{dst} without having it"
+                )
+
+        # Resource constraints (III.6).
+        for host in catalog.host_ids:
+            capacity = catalog.hosts.get(host)
+            if self.cpu_used(host) > capacity.cpu_capacity + tol:
+                violations.append(
+                    f"resources: CPU overload on host {host}: "
+                    f"{self.cpu_used(host):.3f} > {capacity.cpu_capacity:.3f}"
+                )
+            if self.out_bandwidth_used(host) > capacity.bandwidth_capacity + tol:
+                violations.append(
+                    f"resources: outgoing bandwidth overload on host {host}"
+                )
+            if self.in_bandwidth_used(host) > capacity.bandwidth_capacity + tol:
+                violations.append(
+                    f"resources: incoming bandwidth overload on host {host}"
+                )
+        for src in catalog.host_ids:
+            for dst in catalog.host_ids:
+                if src == dst:
+                    continue
+                if self.link_used(src, dst) > catalog.link_capacity(src, dst) + tol:
+                    violations.append(
+                        f"resources: link {src}->{dst} overloaded"
+                    )
+
+        # Acyclicity (III.7): per stream, flows must form a DAG rooted at real
+        # sources (operator placements or base-stream injection points).
+        violations.extend(self._acyclicity_violations())
+        return violations
+
+    def is_feasible(self, tol: float = 1e-6) -> bool:
+        """Whether the allocation satisfies every constraint."""
+        return not self.validate(tol)
+
+    def _acyclicity_violations(self) -> List[str]:
+        violations: List[str] = []
+        catalog = self.catalog
+        streams_with_flows = {s for (_h, _m, s) in self.flows}
+        for stream_id in streams_with_flows:
+            stream = catalog.streams.get(stream_id)
+            edges = [(h, m) for (h, m, s) in self.flows if s == stream_id]
+            sources = set()
+            for host in catalog.host_ids:
+                generates = any(
+                    catalog.get_operator(o).output_stream == stream_id
+                    for (h, o) in self.placements
+                    if h == host
+                )
+                is_base_here = stream.is_base and host in catalog.base_hosts_of(stream_id)
+                if generates or is_base_here:
+                    sources.add(host)
+            # Every host receiving the stream must be reachable from a source.
+            reachable = set(sources)
+            frontier = list(sources)
+            adjacency: Dict[int, List[int]] = {}
+            for src, dst in edges:
+                adjacency.setdefault(src, []).append(dst)
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency.get(node, []):
+                    if neighbour not in reachable:
+                        reachable.add(neighbour)
+                        frontier.append(neighbour)
+            receivers = {dst for (_src, dst) in edges}
+            unreachable = receivers - reachable
+            if unreachable:
+                violations.append(
+                    f"acyclicity: stream {stream_id} reaches hosts {sorted(unreachable)} "
+                    f"only through a causal loop (no path from a real source)"
+                )
+        return violations
+
+    # -------------------------------------------------------------- summaries
+    def summary(self) -> str:
+        """One-line description of the allocation size."""
+        return (
+            f"Allocation: {len(self.admitted_queries)} admitted queries, "
+            f"{len(self.placements)} operator placements, {len(self.flows)} flows, "
+            f"{len(self.provided)} provided streams"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"

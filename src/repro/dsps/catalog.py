@@ -1,0 +1,317 @@
+"""The system catalog: hosts, network, streams, operators and queries.
+
+The catalog is the single source of truth the planners operate on.  It owns
+
+* the set of hosts and the network topology (resource capacities),
+* the stream registry (with equivalence-based identity),
+* the operator universe (deduplicated by signature),
+* the placement of base streams on hosts (S0h), and
+* the registered queries with their candidate streams S(q) and operators
+  O(q), which drive SQPR's problem-reduction step.
+
+Registering a query is idempotent with respect to stream/operator creation:
+overlapping queries share composite streams and operators, which is exactly
+what makes reuse possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.hosts import Host, HostSet
+from repro.dsps.network import NetworkTopology
+from repro.dsps.operators import Operator, OperatorKind
+from repro.dsps.query import (
+    DecompositionMode,
+    Query,
+    QueryWorkloadItem,
+    canonical_chain,
+    enumerate_splits,
+    enumerate_subsets,
+)
+from repro.dsps.stream import Stream, StreamRegistry
+from repro.exceptions import CatalogError
+from repro.utils.validation import check_positive
+
+
+class SystemCatalog:
+    """Hosts, streams, operators and queries of one DSPS instance."""
+
+    def __init__(
+        self,
+        cost_model: Optional[LinearCostModel] = None,
+        decomposition: DecompositionMode = DecompositionMode.CANONICAL,
+        default_link_capacity: float = 1000.0,
+    ) -> None:
+        self.cost_model = cost_model or LinearCostModel()
+        self.decomposition = decomposition
+        self.hosts = HostSet()
+        self.streams = StreamRegistry()
+        self._default_link_capacity = check_positive(
+            "default link capacity", default_link_capacity
+        )
+        self._link_overrides: Dict[Tuple[int, int], float] = {}
+        self._operators: List[Operator] = []
+        self._operators_by_signature: Dict[Tuple, Operator] = {}
+        self._producers: Dict[int, List[Operator]] = {}
+        self._base_hosts: Dict[int, Set[int]] = {}
+        self._base_at_host: Dict[int, Set[int]] = {}
+        self._queries: List[Query] = []
+        self._queries_by_result: Dict[int, List[Query]] = {}
+
+    # ------------------------------------------------------------------ hosts
+    def add_host(
+        self,
+        cpu_capacity: float,
+        bandwidth_capacity: float,
+        name: Optional[str] = None,
+    ) -> Host:
+        """Register a host with the given CPU and NIC capacities."""
+        name = name or f"host{len(self.hosts)}"
+        return self.hosts.add(name, cpu_capacity, bandwidth_capacity)
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of hosts."""
+        return len(self.hosts)
+
+    @property
+    def host_ids(self) -> List[int]:
+        """All host ids in order."""
+        return self.hosts.ids
+
+    # ---------------------------------------------------------------- topology
+    def set_link_capacity(self, src: int, dst: int, capacity: float) -> None:
+        """Override the capacity of the link ``src <-> dst`` (symmetric)."""
+        self._link_overrides[(src, dst)] = float(capacity)
+        self._link_overrides[(dst, src)] = float(capacity)
+
+    def link_capacity(self, src: int, dst: int) -> float:
+        """κ(src, dst); zero on the self-loop."""
+        if src == dst:
+            return 0.0
+        return self._link_overrides.get((src, dst), self._default_link_capacity)
+
+    def topology(self) -> NetworkTopology:
+        """Materialise the current topology as a :class:`NetworkTopology`."""
+        topo = NetworkTopology(max(1, self.num_hosts), self._default_link_capacity)
+        for (src, dst), capacity in self._link_overrides.items():
+            topo.set_capacity(src, dst, capacity, symmetric=False)
+        return topo
+
+    # ----------------------------------------------------------------- streams
+    def add_base_stream(self, name: str, rate: float, host_id: int) -> Stream:
+        """Register a base stream available at ``host_id``."""
+        self.hosts.get(host_id)  # validates the id
+        stream = self.streams.add_base_stream(name, rate)
+        self._base_hosts.setdefault(stream.stream_id, set()).add(host_id)
+        self._base_at_host.setdefault(host_id, set()).add(stream.stream_id)
+        return stream
+
+    def add_base_stream_location(self, stream_id: int, host_id: int) -> None:
+        """Make an existing base stream also available at ``host_id``."""
+        stream = self.streams.get(stream_id)
+        if not stream.is_base:
+            raise CatalogError(f"stream {stream.name!r} is not a base stream")
+        self.hosts.get(host_id)
+        self._base_hosts.setdefault(stream_id, set()).add(host_id)
+        self._base_at_host.setdefault(host_id, set()).add(stream_id)
+
+    def base_hosts_of(self, stream_id: int) -> FrozenSet[int]:
+        """Hosts at which the given base stream is injected."""
+        return frozenset(self._base_hosts.get(stream_id, set()))
+
+    def base_streams_at(self, host_id: int) -> FrozenSet[int]:
+        """S0h — base streams available at ``host_id``."""
+        return frozenset(self._base_at_host.get(host_id, set()))
+
+    def stream_rate(self, stream_id: int) -> float:
+        """ϱ_s for any registered stream."""
+        return self.streams.get(stream_id).rate
+
+    # --------------------------------------------------------------- operators
+    def _register_operator(
+        self,
+        kind: OperatorKind,
+        input_streams: Iterable[int],
+        output_stream: int,
+        cpu_cost: float,
+        name: Optional[str] = None,
+    ) -> Operator:
+        inputs = frozenset(int(s) for s in input_streams)
+        signature = (kind.value, inputs, int(output_stream))
+        existing = self._operators_by_signature.get(signature)
+        if existing is not None:
+            return existing
+        operator = Operator(
+            operator_id=len(self._operators),
+            name=name or f"{kind.value}_op_{len(self._operators)}",
+            kind=kind,
+            input_streams=inputs,
+            output_stream=int(output_stream),
+            cpu_cost=float(cpu_cost),
+        )
+        self._operators.append(operator)
+        self._operators_by_signature[signature] = operator
+        self._producers.setdefault(operator.output_stream, []).append(operator)
+        return operator
+
+    def get_operator(self, operator_id: int) -> Operator:
+        """Look up an operator by id."""
+        try:
+            return self._operators[operator_id]
+        except IndexError:
+            raise CatalogError(f"unknown operator id {operator_id}") from None
+
+    @property
+    def operators(self) -> List[Operator]:
+        """All operators in id order."""
+        return list(self._operators)
+
+    @property
+    def num_operators(self) -> int:
+        """Number of registered operators."""
+        return len(self._operators)
+
+    def producers_of(self, stream_id: int) -> List[Operator]:
+        """All operators whose output stream is ``stream_id``."""
+        return list(self._producers.get(stream_id, []))
+
+    # ------------------------------------------------------- composite streams
+    def _ensure_composite_stream(self, base_set: FrozenSet[int]) -> Stream:
+        """Create (or fetch) the join stream covering ``base_set``."""
+        existing = self.streams.find_equivalent("join", base_set)
+        if existing is not None:
+            return existing
+        rates = [self.streams.get(b).rate for b in base_set]
+        rate = self.cost_model.output_rate(rates, base_set)
+        return self.streams.add_composite_stream("join", base_set, rate)
+
+    def _stream_for_subset(self, subset: FrozenSet[int]) -> Stream:
+        """The stream covering ``subset`` — a base stream or a join stream."""
+        if len(subset) == 1:
+            (only,) = subset
+            return self.streams.get(only)
+        return self._ensure_composite_stream(subset)
+
+    # ------------------------------------------------------------------ queries
+    def register_query(self, item: QueryWorkloadItem) -> Query:
+        """Register a join query and return its :class:`Query` descriptor.
+
+        Creates (or reuses) the composite streams and candidate operators of
+        the query's decomposition according to the catalog's
+        :class:`DecompositionMode`.
+        """
+        base_ids = []
+        for name in item.base_names:
+            stream = self.streams.get_by_name(name)
+            if not stream.is_base:
+                raise CatalogError(f"query references non-base stream {name!r}")
+            base_ids.append(stream.stream_id)
+        base_set = frozenset(base_ids)
+        if len(base_set) != len(base_ids):
+            raise CatalogError("query references duplicate base streams")
+
+        candidate_streams: Set[int] = set(base_set)
+        candidate_operators: Set[int] = set()
+
+        if self.decomposition is DecompositionMode.CANONICAL:
+            chain = canonical_chain(sorted(base_set))
+            previous: Stream = self.streams.get(min(base_set))
+            sorted_bases = sorted(base_set)
+            previous = self.streams.get(sorted_bases[0])
+            for index, subset in enumerate(chain):
+                next_base = self.streams.get(sorted_bases[index + 1])
+                output = self._ensure_composite_stream(subset)
+                inputs = frozenset({previous.stream_id, next_base.stream_id})
+                cpu = self.cost_model.operator_cpu_cost(
+                    [previous.rate, next_base.rate]
+                )
+                operator = self._register_operator(
+                    OperatorKind.JOIN, inputs, output.stream_id, cpu
+                )
+                candidate_streams.add(output.stream_id)
+                candidate_operators.add(operator.operator_id)
+                previous = output
+            result_stream = previous
+        else:
+            subsets = enumerate_subsets(sorted(base_set))
+            for subset in subsets:
+                output = self._ensure_composite_stream(subset)
+                candidate_streams.add(output.stream_id)
+                for left, right in enumerate_splits(subset):
+                    left_stream = self._stream_for_subset(left)
+                    right_stream = self._stream_for_subset(right)
+                    inputs = frozenset({left_stream.stream_id, right_stream.stream_id})
+                    if len(inputs) < 2:
+                        continue
+                    cpu = self.cost_model.operator_cpu_cost(
+                        [left_stream.rate, right_stream.rate]
+                    )
+                    operator = self._register_operator(
+                        OperatorKind.JOIN, inputs, output.stream_id, cpu
+                    )
+                    candidate_operators.add(operator.operator_id)
+            result_stream = self._ensure_composite_stream(base_set)
+
+        query = Query(
+            query_id=len(self._queries),
+            result_stream=result_stream.stream_id,
+            base_streams=base_set,
+            candidate_streams=frozenset(candidate_streams),
+            candidate_operators=frozenset(candidate_operators),
+        )
+        self._queries.append(query)
+        self._queries_by_result.setdefault(result_stream.stream_id, []).append(query)
+        return query
+
+    def get_query(self, query_id: int) -> Query:
+        """Look up a query by id."""
+        try:
+            return self._queries[query_id]
+        except IndexError:
+            raise CatalogError(f"unknown query id {query_id}") from None
+
+    @property
+    def queries(self) -> List[Query]:
+        """All registered queries in submission order."""
+        return list(self._queries)
+
+    def queries_for_stream(self, stream_id: int) -> List[Query]:
+        """All queries whose result stream is ``stream_id``."""
+        return list(self._queries_by_result.get(stream_id, []))
+
+    @property
+    def requested_streams(self) -> FrozenSet[int]:
+        """Streams with δ_s = 1 — i.e. result streams of registered queries."""
+        return frozenset(self._queries_by_result.keys())
+
+    # -------------------------------------------------------------- aggregates
+    def total_cpu_capacity(self) -> float:
+        """Sum of ζ_h over all hosts."""
+        return sum(host.cpu_capacity for host in self.hosts)
+
+    def total_bandwidth_capacity(self) -> float:
+        """Sum of β_h over all hosts."""
+        return sum(host.bandwidth_capacity for host in self.hosts)
+
+    def total_link_capacity(self) -> float:
+        """Sum of κ(h, m) over all ordered host pairs."""
+        total = 0.0
+        for src in self.host_ids:
+            for dst in self.host_ids:
+                if src != dst:
+                    total += self.link_capacity(src, dst)
+        return total
+
+    def summary(self) -> str:
+        """One-line description of the catalog size."""
+        return (
+            f"SystemCatalog: {self.num_hosts} hosts, {len(self.streams)} streams "
+            f"({len(self.streams.base_streams)} base), {self.num_operators} operators, "
+            f"{len(self._queries)} queries"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"

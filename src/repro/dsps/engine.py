@@ -1,0 +1,111 @@
+"""A simulated DISSP-like cluster engine.
+
+The engine stands in for the Java DISSP prototype of §IV-C: it owns the
+catalog and the live allocation, lets a planner "deploy" placement deltas,
+and reports the per-host CPU-utilisation and network-usage distributions that
+the cluster experiments of §V-B plot as CDFs.
+
+The engine deliberately does not simulate individual tuples: the paper's
+cluster results are resource-level (admitted queries, CPU/network
+distributions), and those are fully determined by the allocation plus the
+cost model.  Operator-level drift is handled by
+:class:`~repro.dsps.resource_monitor.ResourceMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
+from repro.exceptions import AllocationError
+
+
+@dataclass
+class DeploymentReport:
+    """Cluster-wide state snapshot after a deployment round."""
+
+    num_admitted_queries: int
+    cpu_utilisation: List[float]
+    network_usage: List[float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether the deployed allocation satisfies every constraint."""
+        return not self.violations
+
+    @property
+    def mean_cpu_utilisation(self) -> float:
+        """Average CPU utilisation across hosts."""
+        if not self.cpu_utilisation:
+            return 0.0
+        return sum(self.cpu_utilisation) / len(self.cpu_utilisation)
+
+    @property
+    def max_cpu_utilisation(self) -> float:
+        """Maximum CPU utilisation across hosts (load-balance indicator)."""
+        return max(self.cpu_utilisation, default=0.0)
+
+
+class ClusterEngine:
+    """Owns the live allocation and applies planner decisions to it."""
+
+    def __init__(
+        self,
+        catalog: SystemCatalog,
+        monitor: Optional[ResourceMonitor] = None,
+        strict: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.allocation = Allocation(catalog)
+        self.monitor = monitor or ResourceMonitor(catalog)
+        self.strict = strict
+        self._deploy_log: List[PlacementDelta] = []
+
+    # --------------------------------------------------------------- deployment
+    def deploy(self, delta: PlacementDelta) -> None:
+        """Apply a placement delta produced by a planner.
+
+        With ``strict=True`` (the default) the engine refuses deltas that
+        would leave the allocation in an infeasible state, mirroring a real
+        DSPS that would fail to instantiate an over-committed plan.
+        """
+        candidate = self.allocation.copy()
+        candidate.apply(delta)
+        if self.strict:
+            violations = candidate.validate()
+            if violations:
+                raise AllocationError(
+                    "refusing to deploy an infeasible delta: " + "; ".join(violations[:5])
+                )
+        self.allocation = candidate
+        self._deploy_log.append(delta)
+
+    @property
+    def num_deployments(self) -> int:
+        """How many deltas have been deployed."""
+        return len(self._deploy_log)
+
+    # ---------------------------------------------------------------- reporting
+    def report(self) -> DeploymentReport:
+        """Snapshot the cluster state (per-host utilisation distributions)."""
+        cpu = [self.allocation.cpu_utilisation(h) for h in self.catalog.host_ids]
+        net = [self.allocation.network_usage(h) for h in self.catalog.host_ids]
+        return DeploymentReport(
+            num_admitted_queries=len(self.allocation.admitted_queries),
+            cpu_utilisation=cpu,
+            network_usage=net,
+            violations=self.allocation.validate(),
+        )
+
+    def samples(self) -> List[ResourceSample]:
+        """Observed per-host samples from the resource monitor."""
+        return self.monitor.sample_all(self.allocation)
+
+    def reset(self) -> None:
+        """Drop all deployed queries (used between experiment repetitions)."""
+        self.allocation = Allocation(self.catalog)
+        self._deploy_log.clear()

@@ -1,0 +1,93 @@
+"""Hosts and their per-host resources (§II-B).
+
+A host provides computational resources ζ_h (e.g. CPU cores or a calibrated
+"join units" budget) and an outgoing NIC bandwidth β_h.  Link bandwidth
+κ(h, m) between host pairs lives in :mod:`repro.dsps.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import CatalogError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Host:
+    """A stream-processing host.
+
+    Attributes
+    ----------
+    host_id:
+        Dense id, unique within a catalog.
+    name:
+        Human-readable name.
+    cpu_capacity:
+        ζ_h — available computational resources.
+    bandwidth_capacity:
+        β_h — maximum outgoing (and incoming) host bandwidth in Mbps.
+    """
+
+    host_id: int
+    name: str
+    cpu_capacity: float
+    bandwidth_capacity: float
+
+    def __post_init__(self) -> None:
+        check_positive("host cpu capacity", self.cpu_capacity)
+        check_positive("host bandwidth capacity", self.bandwidth_capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"Host({self.host_id}, {self.name!r}, cpu={self.cpu_capacity:g}, "
+            f"bw={self.bandwidth_capacity:g})"
+        )
+
+
+class HostSet:
+    """An ordered collection of hosts with name lookup."""
+
+    def __init__(self) -> None:
+        self._hosts: List[Host] = []
+        self._by_name: Dict[str, Host] = {}
+
+    def add(self, name: str, cpu_capacity: float, bandwidth_capacity: float) -> Host:
+        """Register a new host and return it."""
+        if name in self._by_name:
+            raise CatalogError(f"host name {name!r} already registered")
+        host = Host(
+            host_id=len(self._hosts),
+            name=name,
+            cpu_capacity=float(cpu_capacity),
+            bandwidth_capacity=float(bandwidth_capacity),
+        )
+        self._hosts.append(host)
+        self._by_name[name] = host
+        return host
+
+    def get(self, host_id: int) -> Host:
+        """Look up a host by id."""
+        try:
+            return self._hosts[host_id]
+        except IndexError:
+            raise CatalogError(f"unknown host id {host_id}") from None
+
+    def get_by_name(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"unknown host name {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts)
+
+    @property
+    def ids(self) -> List[int]:
+        """All host ids in order."""
+        return [h.host_id for h in self._hosts]

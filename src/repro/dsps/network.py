@@ -1,0 +1,76 @@
+"""The network topology: pairwise link capacities κ(h, m).
+
+The evaluation scenarios in the paper use a flat data-centre LAN (every pair
+of hosts connected with the same capacity), but the model supports arbitrary
+per-pair capacities, so heterogeneous topologies (e.g. oversubscribed racks)
+can be expressed as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import CatalogError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class NetworkTopology:
+    """Directed link capacities between hosts.
+
+    Capacities are stored per ordered pair ``(src, dst)``.  A default
+    capacity applies to every pair that has not been set explicitly; a
+    capacity of zero means the two hosts cannot exchange streams directly.
+    """
+
+    def __init__(self, num_hosts: int, default_capacity: float) -> None:
+        if num_hosts <= 0:
+            raise CatalogError("topology needs at least one host")
+        check_non_negative("default link capacity", default_capacity)
+        self._num_hosts = int(num_hosts)
+        self._default = float(default_capacity)
+        self._overrides: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of hosts the topology spans."""
+        return self._num_hosts
+
+    @property
+    def default_capacity(self) -> float:
+        """Capacity used for pairs without an explicit override."""
+        return self._default
+
+    def _check_pair(self, src: int, dst: int) -> None:
+        for h in (src, dst):
+            if not 0 <= h < self._num_hosts:
+                raise CatalogError(f"host id {h} outside topology of {self._num_hosts} hosts")
+
+    def set_capacity(self, src: int, dst: int, capacity: float, symmetric: bool = True) -> None:
+        """Set the capacity of link ``src -> dst`` (and the reverse link)."""
+        self._check_pair(src, dst)
+        check_non_negative("link capacity", capacity)
+        self._overrides[(src, dst)] = float(capacity)
+        if symmetric:
+            self._overrides[(dst, src)] = float(capacity)
+
+    def capacity(self, src: int, dst: int) -> float:
+        """κ(src, dst); zero for the self-loop (no network needed locally)."""
+        self._check_pair(src, dst)
+        if src == dst:
+            return 0.0
+        return self._overrides.get((src, dst), self._default)
+
+    def scaled(self, factor: float) -> "NetworkTopology":
+        """Return a copy with every capacity multiplied by ``factor``."""
+        check_positive("scale factor", factor)
+        clone = NetworkTopology(self._num_hosts, self._default * factor)
+        for (src, dst), cap in self._overrides.items():
+            clone._overrides[(src, dst)] = cap * factor
+        return clone
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All ordered pairs of distinct hosts."""
+        for src in range(self._num_hosts):
+            for dst in range(self._num_hosts):
+                if src != dst:
+                    yield (src, dst)

@@ -1,0 +1,107 @@
+"""Query operators: the triplet (S_o, s_o, γ_o) from §II-A.
+
+An :class:`Operator` transforms a set of input streams into a single output
+stream at a CPU cost γ_o.  The special *relay* operator µ forwards a stream
+unchanged (§II-C); in the optimisation model relays are represented by flow
+variables rather than explicit operator placements, but plans and the engine
+still materialise relay nodes so that the paper's plan conditions (C3) can be
+checked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.exceptions import CatalogError
+from repro.utils.validation import check_non_negative
+
+RELAY_OPERATOR_NAME = "relay"
+
+
+class OperatorKind(enum.Enum):
+    """Operator classes supported by the simulated DSPS."""
+
+    JOIN = "join"
+    SELECT = "select"
+    PROJECT = "project"
+    RELAY = "relay"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A query operator (S_o, s_o, γ_o).
+
+    Attributes
+    ----------
+    operator_id:
+        Dense id, unique within a :class:`~repro.dsps.catalog.SystemCatalog`.
+    name:
+        Human-readable name.
+    kind:
+        :class:`OperatorKind`.
+    input_streams:
+        Ids of the input streams S_o.
+    output_stream:
+        Id of the single output stream s_o.
+    cpu_cost:
+        γ_o, the computational cost of running the operator (same unit as a
+        host's CPU capacity ζ_h).
+    """
+
+    operator_id: int
+    name: str
+    kind: OperatorKind
+    input_streams: FrozenSet[int]
+    output_stream: int
+    cpu_cost: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("operator cpu cost", self.cpu_cost)
+        if not self.input_streams:
+            raise CatalogError(f"operator {self.name!r} must have at least one input")
+        if self.output_stream in self.input_streams:
+            raise CatalogError(f"operator {self.name!r} outputs one of its own inputs")
+
+    @property
+    def arity(self) -> int:
+        """Number of input streams."""
+        return len(self.input_streams)
+
+    @property
+    def is_relay(self) -> bool:
+        """Whether this is the relay operator µ."""
+        return self.kind is OperatorKind.RELAY
+
+    def signature(self) -> Tuple[str, FrozenSet[int], int]:
+        """Identity key: (kind, inputs, output)."""
+        return (self.kind.value, self.input_streams, self.output_stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"Operator({self.operator_id}, {self.name!r}, "
+            f"inputs={sorted(self.input_streams)}, out={self.output_stream}, "
+            f"cpu={self.cpu_cost:g})"
+        )
+
+
+def make_join_operator(
+    operator_id: int,
+    input_streams: Iterable[int],
+    output_stream: int,
+    cpu_cost: float,
+    name: str = "",
+) -> Operator:
+    """Convenience constructor for a (multi-way) join operator."""
+    inputs = frozenset(int(s) for s in input_streams)
+    if len(inputs) < 2:
+        raise CatalogError("a join operator needs at least two distinct inputs")
+    return Operator(
+        operator_id=operator_id,
+        name=name or f"join_op_{operator_id}",
+        kind=OperatorKind.JOIN,
+        input_streams=inputs,
+        output_stream=int(output_stream),
+        cpu_cost=float(cpu_cost),
+    )

@@ -1,0 +1,144 @@
+"""Continuous queries and their decomposition into operators and streams.
+
+A query in this reproduction is a request for the result stream of a k-way
+join over a set of base streams (the workload used throughout the paper's
+evaluation: equal parts two-, three- and four-way joins).  Submitting a query
+to a catalog registers
+
+* the composite streams of its decomposition (shared with other queries via
+  stream equivalence), and
+* the candidate operators that may produce those streams.
+
+Two decomposition modes are supported:
+
+``canonical``
+    A single left-deep join tree over the base streams sorted by id.  Shared
+    prefixes of sorted base sets yield shared sub-streams.
+``exhaustive``
+    Every bushy decomposition: a candidate stream for every subset of the
+    base set (size >= 2) and a candidate operator for every way of splitting
+    a subset into two parts.  This gives the MILP full freedom to choose the
+    join order, at the price of a larger model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import CatalogError
+
+
+class DecompositionMode(enum.Enum):
+    """How a k-way join query is decomposed into binary operators."""
+
+    CANONICAL = "canonical"
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass(frozen=True)
+class QueryWorkloadItem:
+    """A query as produced by the workload generator, before registration.
+
+    Attributes
+    ----------
+    base_names:
+        Names of the base streams joined by the query.
+    arity:
+        Number of base streams (2 for a two-way join, etc.).
+    """
+
+    base_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.base_names) < 2:
+            raise CatalogError("a join query needs at least two base streams")
+        if len(set(self.base_names)) != len(self.base_names):
+            raise CatalogError("a join query must reference distinct base streams")
+
+    @property
+    def arity(self) -> int:
+        """Number of base streams joined."""
+        return len(self.base_names)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A registered continuous query.
+
+    Attributes
+    ----------
+    query_id:
+        Dense id assigned by the catalog at registration time.
+    result_stream:
+        Id of the requested result stream (the stream with δ_s = 1).
+    base_streams:
+        Ids of the base streams the query joins.
+    candidate_streams:
+        S(q): every stream id that can appear in some plan for this query
+        (base streams, intermediate composites, and the result stream).
+    candidate_operators:
+        O(q): every operator id that can appear in some plan for this query.
+    """
+
+    query_id: int
+    result_stream: int
+    base_streams: FrozenSet[int]
+    candidate_streams: FrozenSet[int]
+    candidate_operators: FrozenSet[int]
+
+    @property
+    def arity(self) -> int:
+        """Number of base streams joined."""
+        return len(self.base_streams)
+
+    def overlaps(self, other: "Query") -> bool:
+        """Whether the two queries share any candidate stream.
+
+        This is the sharing relation SQPR uses to decide which admitted
+        queries to include in the re-planning scope (§IV-A).
+        """
+        return bool(self.candidate_streams & other.candidate_streams)
+
+    def __repr__(self) -> str:
+        return (
+            f"Query({self.query_id}, result={self.result_stream}, "
+            f"arity={self.arity})"
+        )
+
+
+def enumerate_subsets(base_set: Sequence[int], min_size: int = 2) -> List[FrozenSet[int]]:
+    """All subsets of ``base_set`` with at least ``min_size`` members.
+
+    Ordered by size so that callers can build streams bottom-up.
+    """
+    items = sorted(set(int(b) for b in base_set))
+    subsets: List[FrozenSet[int]] = []
+    for size in range(min_size, len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            subsets.append(frozenset(combo))
+    return subsets
+
+
+def enumerate_splits(subset: FrozenSet[int]) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """All unordered two-way splits of ``subset`` into non-empty parts."""
+    items = sorted(subset)
+    splits: List[Tuple[FrozenSet[int], FrozenSet[int]]] = []
+    n = len(items)
+    # Fix the first element in the left part to avoid double-counting.
+    first, rest = items[0], items[1:]
+    for size in range(0, len(rest) + 1):
+        for combo in itertools.combinations(rest, size):
+            left = frozenset((first,) + combo)
+            right = subset - left
+            if right:
+                splits.append((left, right))
+    return splits
+
+
+def canonical_chain(base_set: Sequence[int]) -> List[FrozenSet[int]]:
+    """The prefixes (size >= 2) of the sorted base set — the left-deep chain."""
+    items = sorted(set(int(b) for b in base_set))
+    return [frozenset(items[: k + 1]) for k in range(1, len(items))]

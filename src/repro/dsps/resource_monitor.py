@@ -1,0 +1,118 @@
+"""Resource monitoring with estimate drift (§IV-B substrate).
+
+In the real DISSP deployment each host runs a resource monitor that reports
+observed CPU and network usage back to SQPR.  Observed usage can deviate from
+the cost-model estimates the planner used at admission time; SQPR reacts by
+re-planning the affected queries.
+
+In the simulation, "observed" usage is the cost-model value multiplied by a
+per-operator drift factor.  Drift factors default to 1.0 (perfect estimates)
+and can be injected deterministically by tests/experiments or sampled from a
+seeded distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """Observed resource usage of one host at one sampling instant."""
+
+    host: int
+    cpu_used: float
+    cpu_capacity: float
+    bandwidth_out: float
+    bandwidth_in: float
+
+    @property
+    def cpu_utilisation(self) -> float:
+        """Observed CPU utilisation in [0, 1+]."""
+        return self.cpu_used / self.cpu_capacity if self.cpu_capacity > 0 else 0.0
+
+    @property
+    def network_usage(self) -> float:
+        """Observed total network usage (sent + received)."""
+        return self.bandwidth_out + self.bandwidth_in
+
+
+class ResourceMonitor:
+    """Produce per-host :class:`ResourceSample`\\ s for an allocation."""
+
+    def __init__(self, catalog: SystemCatalog, random_state: RandomLike = None) -> None:
+        self.catalog = catalog
+        self._rng = ensure_rng(random_state)
+        self._operator_drift: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------- drift
+    def set_operator_drift(self, operator_id: int, factor: float) -> None:
+        """Force the observed cost of an operator to ``factor`` × estimate."""
+        check_non_negative("drift factor", factor)
+        self.catalog.get_operator(operator_id)
+        self._operator_drift[operator_id] = float(factor)
+
+    def randomise_drift(self, spread: float = 0.2) -> None:
+        """Sample a drift factor for every operator from [1-spread, 1+spread]."""
+        check_non_negative("drift spread", spread)
+        for operator in self.catalog.operators:
+            factor = float(self._rng.uniform(1.0 - spread, 1.0 + spread))
+            self._operator_drift[operator.operator_id] = max(0.0, factor)
+
+    def drift_of(self, operator_id: int) -> float:
+        """The drift factor currently applied to ``operator_id``."""
+        return self._operator_drift.get(operator_id, 1.0)
+
+    def observed_operator_cost(self, operator_id: int) -> float:
+        """Observed CPU cost of an operator (estimate × drift)."""
+        return self.catalog.get_operator(operator_id).cpu_cost * self.drift_of(operator_id)
+
+    # ----------------------------------------------------------------- sampling
+    def observed_cpu_used(self, allocation: Allocation, host: int) -> float:
+        """Observed CPU usage of ``host`` under ``allocation``."""
+        return sum(
+            self.observed_operator_cost(o)
+            for (h, o) in allocation.placements
+            if h == host
+        )
+
+    def sample_host(self, allocation: Allocation, host: int) -> ResourceSample:
+        """Take one observation of ``host``."""
+        host_obj = self.catalog.hosts.get(host)
+        return ResourceSample(
+            host=host,
+            cpu_used=self.observed_cpu_used(allocation, host),
+            cpu_capacity=host_obj.cpu_capacity,
+            bandwidth_out=allocation.out_bandwidth_used(host),
+            bandwidth_in=allocation.in_bandwidth_used(host),
+        )
+
+    def sample_all(self, allocation: Allocation) -> List[ResourceSample]:
+        """Observations for every host."""
+        return [self.sample_host(allocation, h) for h in self.catalog.host_ids]
+
+    # ------------------------------------------------------------ drift queries
+    def drifted_operators(self, threshold: float = 0.1) -> List[int]:
+        """Operators whose observed cost deviates from the estimate by more
+        than ``threshold`` (relative)."""
+        drifted = []
+        for operator in self.catalog.operators:
+            factor = self.drift_of(operator.operator_id)
+            if abs(factor - 1.0) > threshold:
+                drifted.append(operator.operator_id)
+        return drifted
+
+    def overloaded_hosts(self, allocation: Allocation) -> List[int]:
+        """Hosts whose observed CPU usage exceeds their capacity."""
+        overloaded = []
+        for host in self.catalog.host_ids:
+            sample = self.sample_host(allocation, host)
+            if sample.cpu_used > sample.cpu_capacity + 1e-9:
+                overloaded.append(host)
+        return overloaded

@@ -1,0 +1,190 @@
+"""Streams: base streams injected at hosts and composite (derived) streams.
+
+Stream identity follows the paper's equivalence rule (§II-C): two streams are
+equivalent if they are produced by the same operators using the same input
+streams.  For the deterministic relational operators used throughout the
+evaluation (joins over base streams) this collapses to identifying a
+composite stream by its *operator class* together with the *set of base
+streams it covers* — joins are commutative and associative, so any join tree
+over the same base set produces an equivalent result stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CatalogError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class StreamKind(enum.Enum):
+    """Whether a stream enters the system externally or is derived."""
+
+    BASE = "base"
+    COMPOSITE = "composite"
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A data stream flowing through the DSPS.
+
+    Attributes
+    ----------
+    stream_id:
+        Dense integer id, unique within a :class:`StreamRegistry`.
+    name:
+        Human-readable name (``b<k>`` for base streams, e.g.
+        ``join(b1,b4,b7)`` for composites).
+    kind:
+        :class:`StreamKind`.
+    rate:
+        Average data rate ϱ_s (Mbps in the simulation scenarios).
+    base_set:
+        The base streams this stream covers.  For a base stream this is the
+        singleton of its own id; for a composite it is the union of its
+        inputs' base sets.  Together with ``operator_class`` it defines
+        stream equivalence.
+    operator_class:
+        Name of the operator class that produces the stream (``"source"``
+        for base streams, e.g. ``"join"`` for composites).
+    """
+
+    stream_id: int
+    name: str
+    kind: StreamKind
+    rate: float
+    base_set: FrozenSet[int]
+    operator_class: str = "source"
+
+    def __post_init__(self) -> None:
+        check_non_negative("stream rate", self.rate)
+
+    @property
+    def is_base(self) -> bool:
+        """Whether this is an externally injected base stream."""
+        return self.kind is StreamKind.BASE
+
+    @property
+    def is_composite(self) -> bool:
+        """Whether this stream is produced by an operator."""
+        return self.kind is StreamKind.COMPOSITE
+
+    @property
+    def equivalence_key(self) -> Tuple[str, FrozenSet[int]]:
+        """Key implementing the paper's stream-equivalence relation."""
+        return (self.operator_class, self.base_set)
+
+    def __repr__(self) -> str:
+        return f"Stream({self.stream_id}, {self.name!r}, {self.rate:g})"
+
+
+class StreamRegistry:
+    """Registry assigning dense ids to streams and enforcing equivalence.
+
+    Registering a composite stream whose equivalence key already exists
+    returns the existing stream instead of creating a duplicate — this is
+    what makes reuse discoverable: two queries whose plans contain "the same"
+    sub-join reference the *same* :class:`Stream` object.
+    """
+
+    def __init__(self) -> None:
+        self._streams: List[Stream] = []
+        self._by_key: Dict[Tuple[str, FrozenSet[int]], Stream] = {}
+        self._by_name: Dict[str, Stream] = {}
+
+    # ------------------------------------------------------------------ creation
+    def add_base_stream(self, name: str, rate: float) -> Stream:
+        """Register a new base stream with the given average data rate."""
+        check_positive("base stream rate", rate)
+        if name in self._by_name:
+            raise CatalogError(f"stream name {name!r} already registered")
+        stream_id = len(self._streams)
+        stream = Stream(
+            stream_id=stream_id,
+            name=name,
+            kind=StreamKind.BASE,
+            rate=float(rate),
+            base_set=frozenset({stream_id}),
+            operator_class="source",
+        )
+        self._streams.append(stream)
+        self._by_key[stream.equivalence_key] = stream
+        self._by_name[name] = stream
+        return stream
+
+    def add_composite_stream(
+        self,
+        operator_class: str,
+        base_set: Iterable[int],
+        rate: float,
+        name: Optional[str] = None,
+    ) -> Stream:
+        """Register (or return the existing equivalent) composite stream."""
+        check_non_negative("composite stream rate", rate)
+        base_set = frozenset(int(b) for b in base_set)
+        if not base_set:
+            raise CatalogError("composite stream must cover at least one base stream")
+        for base_id in base_set:
+            if base_id >= len(self._streams) or not self._streams[base_id].is_base:
+                raise CatalogError(f"unknown base stream id {base_id} in composite")
+        key = (operator_class, base_set)
+        if key in self._by_key:
+            return self._by_key[key]
+        stream_id = len(self._streams)
+        if name is None:
+            members = ",".join(self._streams[b].name for b in sorted(base_set))
+            name = f"{operator_class}({members})"
+        if name in self._by_name:
+            raise CatalogError(f"stream name {name!r} already registered")
+        stream = Stream(
+            stream_id=stream_id,
+            name=name,
+            kind=StreamKind.COMPOSITE,
+            rate=float(rate),
+            base_set=base_set,
+            operator_class=operator_class,
+        )
+        self._streams.append(stream)
+        self._by_key[key] = stream
+        self._by_name[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------- lookups
+    def get(self, stream_id: int) -> Stream:
+        """Look up a stream by id."""
+        try:
+            return self._streams[stream_id]
+        except IndexError:
+            raise CatalogError(f"unknown stream id {stream_id}") from None
+
+    def get_by_name(self, name: str) -> Stream:
+        """Look up a stream by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"unknown stream name {name!r}") from None
+
+    def find_equivalent(self, operator_class: str, base_set: Iterable[int]) -> Optional[Stream]:
+        """Return the registered stream equivalent to the given key, if any."""
+        return self._by_key.get((operator_class, frozenset(int(b) for b in base_set)))
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __iter__(self) -> Iterator[Stream]:
+        return iter(self._streams)
+
+    def __contains__(self, stream: Stream) -> bool:
+        return 0 <= stream.stream_id < len(self._streams) and self._streams[stream.stream_id] is stream
+
+    @property
+    def base_streams(self) -> List[Stream]:
+        """All base streams, in id order."""
+        return [s for s in self._streams if s.is_base]
+
+    @property
+    def composite_streams(self) -> List[Stream]:
+        """All composite streams, in id order."""
+        return [s for s in self._streams if s.is_composite]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SQPR reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between modelling, solving and planning
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """An optimisation model was built or used incorrectly."""
+
+
+class SolverError(ReproError):
+    """A solver backend failed in an unexpected way."""
+
+
+class InfeasibleError(SolverError):
+    """The optimisation problem was proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """The optimisation problem was proven unbounded."""
+
+
+class CatalogError(ReproError):
+    """Inconsistent system catalog (hosts, streams, operators)."""
+
+
+class PlanError(ReproError):
+    """A query plan violates one of the paper's structural conditions."""
+
+
+class AllocationError(ReproError):
+    """A placement would violate resource capacities or bookkeeping."""
+
+
+class PlanningError(ReproError):
+    """The planner was used incorrectly (e.g. unknown query)."""
+
+
+class WorkloadError(ReproError):
+    """A workload or scenario was configured inconsistently."""

@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing the paper's evaluation (§V)."""
+
+from repro.experiments.runner import AdmissionCurve, run_admission_experiment
+from repro.experiments.metrics import (
+    cdf,
+    optimality_gap,
+    saturation_point,
+    series_is_non_decreasing,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments import figures
+
+__all__ = [
+    "AdmissionCurve",
+    "run_admission_experiment",
+    "cdf",
+    "optimality_gap",
+    "saturation_point",
+    "series_is_non_decreasing",
+    "format_table",
+    "figures",
+]

@@ -1,0 +1,414 @@
+"""One entry point per figure of the paper's evaluation (§V).
+
+Every function builds the relevant scenario, runs the planners and returns a
+:class:`FigureResult` containing the same series the paper plots.  All sizes
+and solver timeouts default to *scaled-down* values so the complete harness
+finishes on a laptop; pass larger values to approach the paper's scale.
+
+The benchmark files under ``benchmarks/`` call these functions, assert the
+paper's qualitative findings (who wins, where saturation appears) and print
+the series so EXPERIMENTS.md can record paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.heuristic import HeuristicPlanner
+from repro.baselines.soda.planner import SodaPlanner
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.experiments.metrics import cdf
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import AdmissionCurve, run_admission_experiment
+from repro.workloads.scenarios import (
+    Scenario,
+    SimulationScenarioConfig,
+    ClusterScenarioConfig,
+    build_cluster_scenario,
+    build_simulation_scenario,
+)
+
+
+@dataclass
+class FigureResult:
+    """The data behind one reproduced figure."""
+
+    figure: str
+    description: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Render the figure's series as a plain-text table."""
+        return format_series(self.series, title=f"{self.figure}: {self.description}")
+
+
+# --------------------------------------------------------------------------- helpers
+def _default_simulation(num_hosts: Optional[int] = None, num_base_streams: Optional[int] = None) -> Scenario:
+    config = SimulationScenarioConfig()
+    scenario = build_simulation_scenario(config)
+    if num_hosts is not None:
+        scenario = scenario.with_hosts(num_hosts)
+    if num_base_streams is not None:
+        scenario = scenario.with_base_streams(num_base_streams)
+    return scenario
+
+
+def _sqpr_planner(scenario: Scenario, time_limit: float, **config_kwargs) -> SQPRPlanner:
+    catalog = scenario.build_catalog()
+    config = PlannerConfig(time_limit=time_limit, **config_kwargs)
+    return SQPRPlanner(catalog, config=config)
+
+
+def _curve_series(curve: AdmissionCurve) -> List[float]:
+    return [float(v) for v in curve.satisfied]
+
+
+# ------------------------------------------------------------------- Figure 4(a)
+def fig4a_planning_efficiency(
+    scenario: Optional[Scenario] = None,
+    num_queries: int = 60,
+    timeouts: Sequence[float] = (0.1, 0.3, 0.6),
+    checkpoint_every: int = 10,
+    arities: Tuple[int, ...] = (2, 3, 4),
+) -> FigureResult:
+    """Fig. 4(a): satisfied vs submitted queries for SQPR (several timeouts),
+    the heuristic planner and the optimistic bound."""
+    scenario = scenario or _default_simulation()
+    workload = scenario.workload(num_queries, arities=arities)
+    result = FigureResult(
+        figure="Fig 4(a)",
+        description="planning efficiency (satisfied vs submitted queries)",
+    )
+
+    for timeout in timeouts:
+        planner = _sqpr_planner(scenario, timeout)
+        curve = run_admission_experiment(
+            planner, workload, checkpoint_every=checkpoint_every
+        )
+        result.series[f"sqpr_timeout_{timeout:g}s"] = _curve_series(curve)
+
+    heuristic = HeuristicPlanner(scenario.build_catalog())
+    heuristic_curve = run_admission_experiment(
+        heuristic, workload, checkpoint_every=checkpoint_every
+    )
+    result.series["heuristic"] = _curve_series(heuristic_curve)
+
+    optimistic = OptimisticBoundPlanner(scenario.build_catalog())
+    optimistic_curve = run_admission_experiment(
+        optimistic, workload, checkpoint_every=checkpoint_every
+    )
+    result.series["optimistic_bound"] = _curve_series(optimistic_curve)
+
+    result.series["submitted"] = [float(v) for v in optimistic_curve.submitted]
+    return result
+
+
+# ------------------------------------------------------------------- Figure 4(b)
+def fig4b_batching(
+    scenario: Optional[Scenario] = None,
+    num_queries: int = 24,
+    batch_sizes: Sequence[int] = (2, 3, 4, 5),
+    per_query_timeout: float = 0.15,
+    checkpoint_every: int = 8,
+) -> FigureResult:
+    """Fig. 4(b): planning efficiency when queries are submitted in batches."""
+    scenario = scenario or _default_simulation()
+    workload = scenario.workload(num_queries)
+    result = FigureResult(
+        figure="Fig 4(b)",
+        description="planning efficiency with query batching",
+    )
+    for batch in batch_sizes:
+        planner = _sqpr_planner(scenario, per_query_timeout)
+        curve = run_admission_experiment(
+            planner, workload, checkpoint_every=checkpoint_every, group_size=batch
+        )
+        result.series[f"batch_{batch}"] = _curve_series(curve)
+        submitted_key = "submitted"
+        if submitted_key not in result.series:
+            result.series[submitted_key] = [float(v) for v in curve.submitted]
+    return result
+
+
+# ------------------------------------------------------------------- Figure 4(c)
+def fig4c_overlap(
+    num_queries: int = 25,
+    zipf_factors: Sequence[float] = (0.0, 1.0, 2.0),
+    base_stream_counts: Sequence[int] = (40, 80),
+    time_limit: float = 0.2,
+) -> FigureResult:
+    """Fig. 4(c): satisfiable queries vs Zipf factor for several base-stream
+    universe sizes (more overlap -> more admitted queries)."""
+    result = FigureResult(
+        figure="Fig 4(c)",
+        description="planning efficiency vs overlap (Zipf factor)",
+        series={"zipf_factor": [float(z) for z in zipf_factors]},
+    )
+    for num_streams in base_stream_counts:
+        satisfied: List[float] = []
+        for zipf in zipf_factors:
+            scenario = _default_simulation(num_base_streams=num_streams)
+            workload = scenario.workload(num_queries, zipf_exponent=zipf)
+            planner = _sqpr_planner(scenario, time_limit)
+            curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
+            satisfied.append(float(curve.total_satisfied))
+        result.series[f"{num_streams}_base_streams"] = satisfied
+    return result
+
+
+# ------------------------------------------------------------------- Figure 5(a)
+def fig5a_scalability_hosts(
+    host_counts: Sequence[int] = (4, 6, 8, 12),
+    num_queries: int = 30,
+    time_limit: float = 0.25,
+) -> FigureResult:
+    """Fig. 5(a): satisfiable queries vs number of hosts, with the optimistic
+    bound for reference."""
+    result = FigureResult(
+        figure="Fig 5(a)",
+        description="scalability in the number of hosts",
+        series={"hosts": [float(h) for h in host_counts]},
+    )
+    sqpr_satisfied: List[float] = []
+    bound_satisfied: List[float] = []
+    for hosts in host_counts:
+        scenario = _default_simulation(num_hosts=hosts)
+        workload = scenario.workload(num_queries)
+        planner = _sqpr_planner(scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
+        sqpr_satisfied.append(float(curve.total_satisfied))
+        bound = OptimisticBoundPlanner(scenario.build_catalog())
+        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
+        bound_satisfied.append(float(bound_curve.total_satisfied))
+    result.series["sqpr"] = sqpr_satisfied
+    result.series["optimistic_bound"] = bound_satisfied
+    return result
+
+
+# ------------------------------------------------------------------- Figure 5(b)
+def fig5b_scalability_resources(
+    cpu_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    num_queries: int = 40,
+    time_limit: float = 0.3,
+) -> FigureResult:
+    """Fig. 5(b): satisfiable queries vs per-host resources (CPU cores), with
+    network capacities scaled up as in the paper (1 Gbps -> 10 Gbps)."""
+    result = FigureResult(
+        figure="Fig 5(b)",
+        description="scalability in per-host resources",
+        series={"cpu_factor": [float(f) for f in cpu_factors]},
+    )
+    sqpr_satisfied: List[float] = []
+    bound_satisfied: List[float] = []
+    for factor in cpu_factors:
+        scenario = _default_simulation().with_resources(
+            cpu_factor=factor, bandwidth_factor=10.0
+        )
+        workload = scenario.workload(num_queries)
+        planner = _sqpr_planner(scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
+        sqpr_satisfied.append(float(curve.total_satisfied))
+        bound = OptimisticBoundPlanner(scenario.build_catalog())
+        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
+        bound_satisfied.append(float(bound_curve.total_satisfied))
+    result.series["sqpr"] = sqpr_satisfied
+    result.series["optimistic_bound"] = bound_satisfied
+    return result
+
+
+# ------------------------------------------------------------------- Figure 5(c)
+def fig5c_query_complexity(
+    arities: Sequence[int] = (2, 3, 4, 5),
+    num_queries: int = 30,
+    time_limit: float = 0.3,
+) -> FigureResult:
+    """Fig. 5(c): satisfiable queries vs query type (2-way .. 5-way joins)."""
+    result = FigureResult(
+        figure="Fig 5(c)",
+        description="scalability in query complexity",
+        series={"arity": [float(a) for a in arities]},
+    )
+    sqpr_satisfied: List[float] = []
+    bound_satisfied: List[float] = []
+    for arity in arities:
+        scenario = _default_simulation()
+        workload = scenario.workload(num_queries, arities=(arity,))
+        planner = _sqpr_planner(scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
+        sqpr_satisfied.append(float(curve.total_satisfied))
+        bound = OptimisticBoundPlanner(scenario.build_catalog())
+        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
+        bound_satisfied.append(float(bound_curve.total_satisfied))
+    result.series["sqpr"] = sqpr_satisfied
+    result.series["optimistic_bound"] = bound_satisfied
+    return result
+
+
+# ------------------------------------------------------------------- Figure 6(a)
+def fig6a_planning_time_vs_hosts(
+    host_counts: Sequence[int] = (4, 6, 8, 12),
+    num_queries: int = 20,
+    time_limit: float = 0.5,
+) -> FigureResult:
+    """Fig. 6(a): average planning time vs number of hosts at high utilisation."""
+    result = FigureResult(
+        figure="Fig 6(a)",
+        description="planning time vs number of hosts",
+        series={"hosts": [float(h) for h in host_counts]},
+    )
+    averages: List[float] = []
+    high_util: List[float] = []
+    for hosts in host_counts:
+        scenario = _default_simulation(num_hosts=hosts)
+        workload = scenario.workload(num_queries)
+        planner = _sqpr_planner(scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=5)
+        averages.append(curve.average_planning_time())
+        high_util.append(curve.planning_time_at_utilisation())
+    result.series["avg_planning_time_s"] = averages
+    result.series["avg_planning_time_75_95_s"] = high_util
+    return result
+
+
+# ------------------------------------------------------------------- Figure 6(b)
+def fig6b_planning_time_vs_arity(
+    arities: Sequence[int] = (2, 3, 4, 5),
+    num_queries: int = 20,
+    time_limit: float = 0.5,
+) -> FigureResult:
+    """Fig. 6(b): average planning time vs query type on a fixed host count."""
+    result = FigureResult(
+        figure="Fig 6(b)",
+        description="planning time vs query complexity",
+        series={"arity": [float(a) for a in arities]},
+    )
+    averages: List[float] = []
+    high_util: List[float] = []
+    for arity in arities:
+        scenario = _default_simulation()
+        workload = scenario.workload(num_queries, arities=(arity,))
+        planner = _sqpr_planner(scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=5)
+        averages.append(curve.average_planning_time())
+        high_util.append(curve.planning_time_at_utilisation())
+    result.series["avg_planning_time_s"] = averages
+    result.series["avg_planning_time_75_95_s"] = high_util
+    return result
+
+
+# ------------------------------------------------------------------- Figure 7(a)
+def fig7a_cluster_efficiency(
+    scenario: Optional[Scenario] = None,
+    num_queries: int = 100,
+    epoch_size: int = 20,
+    time_limit: float = 0.3,
+) -> FigureResult:
+    """Fig. 7(a): admitted queries per epoch, SQPR vs SODA, on the cluster
+    deployment scenario."""
+    scenario = scenario or build_cluster_scenario()
+    workload = scenario.workload(num_queries, arities=(2, 3))
+    result = FigureResult(
+        figure="Fig 7(a)",
+        description="cluster deployment planning efficiency (SQPR vs SODA)",
+    )
+
+    sqpr = _sqpr_planner(scenario, time_limit)
+    sqpr_curve = run_admission_experiment(
+        sqpr, workload, checkpoint_every=epoch_size, group_size=1
+    )
+    result.series["sqpr"] = _curve_series(sqpr_curve)
+
+    soda = SodaPlanner(scenario.build_catalog())
+    soda_curve = run_admission_experiment(
+        soda, workload, checkpoint_every=epoch_size, group_size=epoch_size
+    )
+    result.series["soda"] = _curve_series(soda_curve)
+    result.series["submitted"] = [float(v) for v in sqpr_curve.submitted]
+    return result
+
+
+# ------------------------------------------------------------------- Figure 7(b)
+def _cluster_distributions(
+    scenario: Scenario,
+    query_counts: Sequence[int],
+    time_limit: float,
+) -> Dict[str, Dict[int, List[float]]]:
+    """Per-host CPU and network distributions for SQPR and SODA at the given
+    submitted-query counts."""
+    workload = scenario.workload(max(query_counts), arities=(2, 3))
+    distributions: Dict[str, Dict[int, List[float]]] = {
+        "sqpr_cpu": {},
+        "sqpr_net": {},
+        "soda_cpu": {},
+        "soda_net": {},
+    }
+
+    sqpr = _sqpr_planner(scenario, time_limit)
+    soda = SodaPlanner(scenario.build_catalog())
+    submitted = 0
+    targets = sorted(set(query_counts))
+    for item in workload:
+        sqpr.submit(item)
+        soda.submit(item)
+        submitted += 1
+        if submitted in targets:
+            catalog_hosts = sqpr.catalog.host_ids
+            distributions["sqpr_cpu"][submitted] = [
+                sqpr.allocation.cpu_utilisation(h) * 100.0 for h in catalog_hosts
+            ]
+            distributions["sqpr_net"][submitted] = [
+                sqpr.allocation.network_usage(h) for h in catalog_hosts
+            ]
+            soda_hosts = soda.catalog.host_ids
+            distributions["soda_cpu"][submitted] = [
+                soda.allocation.cpu_utilisation(h) * 100.0 for h in soda_hosts
+            ]
+            distributions["soda_net"][submitted] = [
+                soda.allocation.network_usage(h) for h in soda_hosts
+            ]
+    return distributions
+
+
+def fig7b_cpu_distribution(
+    scenario: Optional[Scenario] = None,
+    query_counts: Sequence[int] = (30, 90),
+    time_limit: float = 0.3,
+) -> FigureResult:
+    """Fig. 7(b): CDF of per-host CPU utilisation for SQPR and SODA at a low
+    and a high submitted-query count."""
+    scenario = scenario or build_cluster_scenario()
+    distributions = _cluster_distributions(scenario, query_counts, time_limit)
+    result = FigureResult(
+        figure="Fig 7(b)",
+        description="CDF of per-host CPU utilisation (percent)",
+    )
+    for count in query_counts:
+        for planner in ("sqpr", "soda"):
+            values, fractions = cdf(distributions[f"{planner}_cpu"].get(count, []))
+            result.series[f"{planner}_{count}_cpu_pct"] = values
+            result.series[f"{planner}_{count}_cdf"] = fractions
+    return result
+
+
+# ------------------------------------------------------------------- Figure 7(c)
+def fig7c_network_distribution(
+    scenario: Optional[Scenario] = None,
+    query_counts: Sequence[int] = (30, 90),
+    time_limit: float = 0.3,
+) -> FigureResult:
+    """Fig. 7(c): CDF of per-host network usage (Mbps) for SQPR and SODA."""
+    scenario = scenario or build_cluster_scenario()
+    distributions = _cluster_distributions(scenario, query_counts, time_limit)
+    result = FigureResult(
+        figure="Fig 7(c)",
+        description="CDF of per-host network usage (Mbps)",
+    )
+    for count in query_counts:
+        for planner in ("sqpr", "soda"):
+            values, fractions = cdf(distributions[f"{planner}_net"].get(count, []))
+            result.series[f"{planner}_{count}_net_mbps"] = values
+            result.series[f"{planner}_{count}_cdf"] = fractions
+    return result

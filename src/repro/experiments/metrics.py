@@ -1,0 +1,63 @@
+"""Metrics shared by the experiment drivers and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF of ``values``: sorted values and cumulative fractions.
+
+    This is what Fig. 7(b)/(c) plot for per-host CPU utilisation and network
+    usage.
+    """
+    if not values:
+        return [], []
+    sorted_values = sorted(float(v) for v in values)
+    n = len(sorted_values)
+    fractions = [(i + 1) / n for i in range(n)]
+    return sorted_values, fractions
+
+
+def saturation_point(submitted: Sequence[int], satisfied: Sequence[int]) -> int:
+    """The number of submitted queries at which admissions stop growing.
+
+    Returns the submitted count after which the satisfied series never
+    increases again (the "saturation" visible in Fig. 4a / 7a), or the last
+    submitted count when the system never saturates within the run.
+    """
+    if not submitted or not satisfied:
+        return 0
+    final = satisfied[-1]
+    for sub, sat in zip(submitted, satisfied):
+        if sat >= final:
+            return sub
+    return submitted[-1]
+
+
+def optimality_gap(achieved: float, upper_bound: float) -> float:
+    """Relative gap between an achieved value and an upper bound (0..1)."""
+    if upper_bound <= 0:
+        return 0.0
+    return max(0.0, (upper_bound - achieved) / upper_bound)
+
+
+def series_is_non_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Whether a series never drops by more than ``tolerance``."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile of ``values`` (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(values, q))

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints, for every reproduced figure, the same series
+the paper plots.  :func:`format_table` renders those series as an aligned
+text table suitable for the console and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[Cell]], title: str = "") -> str:
+    """Render a mapping of named, equal-length series as a table."""
+    headers = list(series.keys())
+    if not headers:
+        return title
+    length = max(len(v) for v in series.values())
+    rows = []
+    for index in range(length):
+        row = []
+        for name in headers:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

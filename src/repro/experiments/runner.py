@@ -1,0 +1,139 @@
+"""Drive planners over workloads and record admission curves.
+
+The simulation experiments of §V-A submit one query at a time and observe
+whether it can be admitted; the cluster experiments of §V-B submit queries
+in epochs of 50.  :func:`run_admission_experiment` supports both styles for
+any planner implementing the informal protocol ``submit(item)`` /
+``submit_batch(items)`` / ``submit_epoch(items)`` with outcomes exposing an
+``admitted`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dsps.query import QueryWorkloadItem
+from repro.exceptions import PlanningError
+
+
+@dataclass
+class AdmissionCurve:
+    """The submitted-vs-satisfied curve of one experiment run.
+
+    ``submitted[i]`` is the number of queries submitted after checkpoint
+    ``i`` and ``satisfied[i]`` the cumulative number admitted; the paper's
+    Figures 4, 5 and 7(a) plot exactly these series.
+    """
+
+    planner_name: str
+    submitted: List[int] = field(default_factory=list)
+    satisfied: List[int] = field(default_factory=list)
+    planning_times: List[float] = field(default_factory=list)
+
+    @property
+    def total_submitted(self) -> int:
+        """Total number of queries submitted."""
+        return self.submitted[-1] if self.submitted else 0
+
+    @property
+    def total_satisfied(self) -> int:
+        """Total number of queries admitted."""
+        return self.satisfied[-1] if self.satisfied else 0
+
+    @property
+    def admission_fraction(self) -> float:
+        """Admitted / submitted over the whole run."""
+        if not self.total_submitted:
+            return 0.0
+        return self.total_satisfied / self.total_submitted
+
+    def average_planning_time(self) -> float:
+        """Mean per-query planning time in seconds."""
+        if not self.planning_times:
+            return 0.0
+        return sum(self.planning_times) / len(self.planning_times)
+
+    def planning_time_at_utilisation(self, low: float = 0.75, high: float = 0.95) -> float:
+        """Mean planning time for queries submitted while the admitted
+        fraction of the eventual total lies between ``low`` and ``high``.
+
+        Fig. 6 reports planning times "when 75 %–95 % of resources are
+        consumed"; the admitted-query count is our proxy for consumed
+        resources.
+        """
+        if not self.planning_times or not self.satisfied:
+            return 0.0
+        final = max(1, self.total_satisfied)
+        window = [
+            self.planning_times[i]
+            for i in range(len(self.planning_times))
+            if low * final <= self.satisfied[min(i, len(self.satisfied) - 1)] <= high * final
+        ]
+        if not window:
+            return self.average_planning_time()
+        return sum(window) / len(window)
+
+
+def _submit_group(planner, group: Sequence[QueryWorkloadItem]) -> List:
+    """Submit a group of queries using whichever interface the planner has."""
+    if len(group) > 1:
+        if hasattr(planner, "submit_batch"):
+            return list(planner.submit_batch(group))
+        if hasattr(planner, "submit_epoch"):
+            return list(planner.submit_epoch(group))
+    return [planner.submit(item) for item in group]
+
+
+def run_admission_experiment(
+    planner,
+    workload: Sequence[QueryWorkloadItem],
+    checkpoint_every: int = 10,
+    group_size: int = 1,
+) -> AdmissionCurve:
+    """Submit ``workload`` to ``planner`` and record the admission curve.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Record a (submitted, satisfied) point every this many queries.
+    group_size:
+        Submit queries in groups of this size (1 = one at a time; the
+        batching experiment of Fig. 4b and the 50-query epochs of Fig. 7 use
+        larger groups).
+    """
+    if group_size <= 0:
+        raise PlanningError("group_size must be positive")
+    if not hasattr(planner, "submit"):
+        raise PlanningError("planner does not implement submit()")
+    name = getattr(planner, "name", type(planner).__name__)
+    curve = AdmissionCurve(planner_name=name)
+
+    submitted = 0
+    satisfied = 0
+    pending: List[QueryWorkloadItem] = []
+
+    def flush() -> None:
+        nonlocal submitted, satisfied
+        if not pending:
+            return
+        outcomes = _submit_group(planner, pending)
+        for outcome in outcomes:
+            submitted += 1
+            if getattr(outcome, "admitted", False):
+                satisfied += 1
+            curve.planning_times.append(float(getattr(outcome, "planning_time", 0.0)))
+            if submitted % checkpoint_every == 0:
+                curve.submitted.append(submitted)
+                curve.satisfied.append(satisfied)
+        pending.clear()
+
+    for item in workload:
+        pending.append(item)
+        if len(pending) >= group_size:
+            flush()
+    flush()
+    if not curve.submitted or curve.submitted[-1] != submitted:
+        curve.submitted.append(submitted)
+        curve.satisfied.append(satisfied)
+    return curve

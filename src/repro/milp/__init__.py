@@ -1,0 +1,38 @@
+"""A small mixed-integer linear programming (MILP) toolkit.
+
+The SQPR paper formulates query planning as a MILP and solves it with
+CPLEX 11.2.  CPLEX (and PuLP/OR-Tools) are not available in this
+environment, so this subpackage provides the substrate the planner needs:
+
+* a modelling layer (:class:`Variable`, :class:`LinExpr`,
+  :class:`Constraint`, :class:`Model`) in the spirit of PuLP,
+* a pure-Python branch-and-bound solver over LP relaxations
+  (:mod:`repro.milp.branch_and_bound`), with LP relaxations solved either by
+  an in-repo dense simplex (:mod:`repro.milp.simplex`) or by
+  ``scipy.optimize.linprog``,
+* an optional ``scipy.optimize.milp`` (HiGHS) backend, and
+* a :class:`MilpSolver` facade that picks a backend, honours wall-clock
+  time limits and always reports the best incumbent found — mirroring the
+  way SQPR invokes CPLEX with a timeout.
+"""
+
+from repro.milp.expression import LinExpr, Variable, VarType, lin_sum
+from repro.milp.constraint import Constraint, ConstraintSense
+from repro.milp.model import Model, ObjectiveSense
+from repro.milp.solver import MilpSolver, SolverBackend
+from repro.milp.result import SolveResult, SolveStatus
+
+__all__ = [
+    "Variable",
+    "VarType",
+    "LinExpr",
+    "lin_sum",
+    "Constraint",
+    "ConstraintSense",
+    "Model",
+    "ObjectiveSense",
+    "MilpSolver",
+    "SolverBackend",
+    "SolveResult",
+    "SolveStatus",
+]

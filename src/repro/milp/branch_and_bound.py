@@ -1,0 +1,183 @@
+"""A branch-and-bound MILP solver built on LP relaxations.
+
+This is the pure-Python stand-in for CPLEX's MILP search.  It implements the
+textbook algorithm the paper relies on ("standard branch and bound
+algorithms", §III-B):
+
+* best-bound node selection with a priority queue,
+* branching on the most fractional integer variable,
+* LP relaxations solved via :mod:`repro.milp.lp_backend`,
+* incumbent tracking, and
+* wall-clock time limits after which the best incumbent found so far is
+  returned — exactly how SQPR uses its solver ("prematurely terminate the
+  branch and bound algorithm after a given time interval and use the best
+  solution that the method found").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.milp.lp_backend import solve_lp
+from repro.milp.model import Model
+from repro.milp.result import SolveResult, SolveStatus
+from repro.milp.standard_form import StandardForm, to_standard_form
+from repro.utils.timer import Deadline
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class BnbOptions:
+    """Tuning knobs for the branch-and-bound search."""
+
+    time_limit: Optional[float] = None
+    node_limit: int = 200_000
+    relative_gap: float = 1e-6
+    absolute_gap: float = 1e-9
+    lp_engine: str = "auto"
+
+
+class _Node:
+    """A branch-and-bound node: variable bounds plus the parent LP bound."""
+
+    __slots__ = ("lower", "upper", "bound")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray, bound: float) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.bound = bound
+
+
+def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> int:
+    """Index of the integer variable whose value is most fractional, or -1."""
+    best_index = -1
+    best_score = _INT_TOL
+    for i in np.nonzero(integrality > 0.5)[0]:
+        frac = abs(x[i] - round(x[i]))
+        score = min(frac, 1.0 - frac) if frac <= 0.5 else min(1.0 - frac, frac)
+        score = 0.5 - abs(frac - 0.5)
+        if score > best_score:
+            best_score = score
+            best_index = int(i)
+    return best_index
+
+
+def _round_integievable(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
+    """Round integer coordinates of ``x`` (used when they are near-integral)."""
+    rounded = x.copy()
+    int_idx = integrality > 0.5
+    rounded[int_idx] = np.round(rounded[int_idx])
+    return rounded
+
+
+def solve_branch_and_bound(model: Model, options: Optional[BnbOptions] = None) -> SolveResult:
+    """Solve ``model`` with branch and bound and return the best incumbent."""
+    options = options or BnbOptions()
+    deadline = Deadline(options.time_limit)
+    form = to_standard_form(model)
+    result = _search(form, options, deadline)
+    result.backend = "branch_and_bound"
+    result.solve_time = deadline.elapsed()
+    return result
+
+
+def _search(form: StandardForm, options: BnbOptions, deadline: Deadline) -> SolveResult:
+    c, a_ub, b_ub, a_eq, b_eq = form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq
+    integrality = form.integrality
+
+    def lp(lower: np.ndarray, upper: np.ndarray):
+        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper, engine=options.lp_engine)
+
+    root = lp(form.lower, form.upper)
+    if root.status == "infeasible":
+        return SolveResult(SolveStatus.INFEASIBLE)
+    if root.status == "unbounded":
+        return SolveResult(SolveStatus.UNBOUNDED)
+    if not root.is_optimal:
+        return SolveResult(SolveStatus.ERROR)
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf  # in minimisation space
+    best_bound = root.objective if root.objective is not None else -math.inf
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, _Node]] = []
+    heapq.heappush(
+        heap, (root.objective, next(counter), _Node(form.lower.copy(), form.upper.copy(), root.objective))
+    )
+    nodes_processed = 0
+    hit_limit = False
+    gap_closed = False
+
+    while heap:
+        if deadline.expired() or nodes_processed >= options.node_limit:
+            hit_limit = True
+            break
+        bound, _, node = heapq.heappop(heap)
+        best_bound = bound
+        if incumbent_x is not None:
+            gap = incumbent_obj - bound
+            if gap <= options.absolute_gap or gap <= options.relative_gap * max(1.0, abs(incumbent_obj)):
+                gap_closed = True
+                break
+        relaxation = lp(node.lower, node.upper)
+        nodes_processed += 1
+        if not relaxation.is_optimal:
+            continue
+        if relaxation.objective is None or relaxation.objective >= incumbent_obj - options.absolute_gap:
+            continue
+        x = relaxation.x
+        branch_var = _most_fractional(x, integrality)
+        if branch_var < 0:
+            candidate = _round_integievable(x, integrality)
+            obj = float(c @ candidate)
+            if obj < incumbent_obj:
+                incumbent_obj = obj
+                incumbent_x = candidate
+            continue
+        value = x[branch_var]
+        floor_val = math.floor(value + _INT_TOL)
+        ceil_val = floor_val + 1
+        # Down branch: upper bound <- floor.
+        if floor_val >= node.lower[branch_var] - _INT_TOL:
+            lower_d, upper_d = node.lower.copy(), node.upper.copy()
+            upper_d[branch_var] = floor_val
+            heapq.heappush(
+                heap, (relaxation.objective, next(counter), _Node(lower_d, upper_d, relaxation.objective))
+            )
+        # Up branch: lower bound <- ceil.
+        if ceil_val <= node.upper[branch_var] + _INT_TOL:
+            lower_u, upper_u = node.lower.copy(), node.upper.copy()
+            lower_u[branch_var] = ceil_val
+            heapq.heappush(
+                heap, (relaxation.objective, next(counter), _Node(lower_u, upper_u, relaxation.objective))
+            )
+
+    if incumbent_x is None:
+        if hit_limit:
+            return SolveResult(SolveStatus.TIMEOUT, nodes=nodes_processed)
+        return SolveResult(SolveStatus.INFEASIBLE, nodes=nodes_processed)
+
+    # The incumbent is optimal when the search tree was exhausted or the
+    # best remaining bound came within the configured gap of the incumbent.
+    if gap_closed or (not heap and not hit_limit):
+        status = SolveStatus.OPTIMAL
+    else:
+        status = SolveStatus.FEASIBLE
+    values = form.assignment(incumbent_x)
+    model_obj = form.objective_sign * incumbent_obj + form.objective_offset
+    model_bound = form.objective_sign * best_bound + form.objective_offset
+    return SolveResult(
+        status=status,
+        objective=model_obj,
+        values=values,
+        bound=model_bound,
+        nodes=nodes_processed,
+    )

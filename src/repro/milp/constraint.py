@@ -1,0 +1,78 @@
+"""Linear constraints for the MILP modelling layer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Optional
+
+from repro.exceptions import ModelError
+from repro.milp.expression import LinExpr, Variable
+
+
+class ConstraintSense(enum.Enum):
+    """The relational sense of a constraint (expression SENSE 0)."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint of the form ``expr (<=|>=|==) 0``.
+
+    A constraint is stored in homogeneous form: the left-hand side is an
+    affine :class:`LinExpr` and the right-hand side is implicitly zero.  The
+    convenience properties :attr:`lhs_terms` and :attr:`rhs` expose the more
+    familiar ``sum(coeff*var) SENSE rhs`` view used by solver backends.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(
+        self,
+        expr: LinExpr,
+        sense: ConstraintSense,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(expr, LinExpr):
+            raise ModelError("Constraint expects a LinExpr left-hand side")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    def named(self, name: str) -> "Constraint":
+        """Return this constraint with ``name`` attached (fluent helper)."""
+        self.name = name
+        return self
+
+    # -- solver-facing views -------------------------------------------------------
+    @property
+    def lhs_terms(self) -> Mapping[Variable, float]:
+        """Variable terms of the constraint (left-hand side)."""
+        return self.expr.terms
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant across the relation."""
+        return -self.expr.constant
+
+    # -- evaluation ----------------------------------------------------------------
+    def violation(self, assignment: Mapping[Variable, float], tol: float = 1e-7) -> float:
+        """How much the constraint is violated under ``assignment`` (>= 0).
+
+        A value of 0 means the constraint is satisfied within ``tol``.
+        """
+        value = self.expr.value(assignment)
+        if self.sense is ConstraintSense.LE:
+            return max(0.0, value - tol) if value > tol else 0.0
+        if self.sense is ConstraintSense.GE:
+            return max(0.0, -value - tol) if value < -tol else 0.0
+        return abs(value) if abs(value) > tol else 0.0
+
+    def is_satisfied(self, assignment: Mapping[Variable, float], tol: float = 1e-7) -> bool:
+        """Whether the constraint holds under ``assignment`` within ``tol``."""
+        return self.violation(assignment, tol) == 0.0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense.value} 0{label})"

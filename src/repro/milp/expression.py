@@ -1,0 +1,247 @@
+"""Decision variables and affine (linear + constant) expressions.
+
+The modelling layer mirrors the ergonomics of PuLP: variables combine with
+``+``, ``-``, ``*`` into :class:`LinExpr` objects, and comparing an
+expression with ``<=``, ``>=`` or ``==`` produces a :class:`Constraint`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.exceptions import ModelError
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    """The domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.milp.model.Model.add_var`;
+    they carry a name, a domain (:class:`VarType`) and bounds.  Variables
+    compare by identity, so two variables with the same name in different
+    models never alias.
+    """
+
+    __slots__ = ("name", "var_type", "lower", "upper", "index")
+
+    def __init__(
+        self,
+        name: str,
+        var_type: VarType = VarType.CONTINUOUS,
+        lower: Number = 0.0,
+        upper: Number = math.inf,
+        index: int = -1,
+    ) -> None:
+        if not name:
+            raise ModelError("variable name must be non-empty")
+        lower = float(lower)
+        upper = float(upper)
+        if var_type is VarType.BINARY:
+            lower, upper = max(lower, 0.0), min(upper, 1.0)
+        if lower > upper:
+            raise ModelError(
+                f"variable {name!r} has empty domain [{lower}, {upper}]"
+            )
+        self.name = name
+        self.var_type = var_type
+        self.lower = lower
+        self.upper = upper
+        self.index = index
+
+    # -- conversion to expressions ------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Return this variable wrapped as a :class:`LinExpr`."""
+        return LinExpr({self: 1.0}, 0.0)
+
+    @property
+    def is_integer(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self.var_type in (VarType.INTEGER, VarType.BINARY)
+
+    # -- arithmetic ---------------------------------------------------------------
+    def __add__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, coefficient: Number) -> "LinExpr":
+        return self.to_expr() * coefficient
+
+    def __rmul__(self, coefficient: Number) -> "LinExpr":
+        return self.to_expr() * coefficient
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints --------------------------------------------
+    def __le__(self, other: Union["Variable", "LinExpr", Number]):
+        return self.to_expr() <= other
+
+    def __ge__(self, other: Union["Variable", "LinExpr", Number]):
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.var_type.value})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are immutable from the caller's point of view: every arithmetic
+    operation returns a new expression.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Mapping[Variable, Number]] = None,
+        constant: Number = 0.0,
+    ) -> None:
+        clean: Dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                if not isinstance(var, Variable):
+                    raise ModelError(
+                        f"LinExpr terms must be keyed by Variable, got {type(var)}"
+                    )
+                coeff = float(coeff)
+                if coeff != 0.0:
+                    clean[var] = clean.get(var, 0.0) + coeff
+        self.terms = clean
+        self.constant = float(constant)
+
+    # -- introspection ------------------------------------------------------------
+    def variables(self) -> Iterable[Variable]:
+        """The variables appearing with a non-zero coefficient."""
+        return self.terms.keys()
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 when absent)."""
+        return self.terms.get(var, 0.0)
+
+    def is_constant(self) -> bool:
+        """Whether the expression has no variable terms."""
+        return not self.terms
+
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under ``assignment`` (missing vars -> 0)."""
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * float(assignment.get(var, 0.0))
+        return total
+
+    # -- arithmetic ---------------------------------------------------------------
+    @staticmethod
+    def _coerce(other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other.to_expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, other)
+        raise ModelError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        other = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+        return LinExpr(terms, self.constant + other.constant)
+
+    def __radd__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, coefficient: Number) -> "LinExpr":
+        if not isinstance(coefficient, (int, float)):
+            raise ModelError("LinExpr can only be multiplied by a scalar")
+        coefficient = float(coefficient)
+        terms = {var: coeff * coefficient for var, coeff in self.terms.items()}
+        return LinExpr(terms, self.constant * coefficient)
+
+    def __rmul__(self, coefficient: Number) -> "LinExpr":
+        return self.__mul__(coefficient)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints --------------------------------------------
+    def __le__(self, other: Union["Variable", "LinExpr", Number]):
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - self._coerce(other), ConstraintSense.LE)
+
+    def __ge__(self, other: Union["Variable", "LinExpr", Number]):
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - self._coerce(other), ConstraintSense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        from repro.milp.constraint import Constraint, ConstraintSense
+
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint(self - self._coerce(other), ConstraintSense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def lin_sum(items: Iterable[Union[Variable, LinExpr, Number]]) -> LinExpr:
+    """Sum an iterable of variables/expressions/constants into one LinExpr.
+
+    This is the moral equivalent of ``pulp.lpSum`` and avoids the quadratic
+    behaviour of repeatedly calling ``__add__`` on growing expressions.
+    """
+    terms: Dict[Variable, float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Variable):
+            terms[item] = terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            for var, coeff in item.terms.items():
+                terms[var] = terms.get(var, 0.0) + coeff
+            constant += item.constant
+        elif isinstance(item, (int, float)):
+            constant += float(item)
+        else:
+            raise ModelError(f"cannot sum object of type {type(item).__name__}")
+    return LinExpr(terms, constant)

@@ -1,0 +1,75 @@
+"""LP relaxation solving, dispatching to scipy (HiGHS) or the in-repo simplex.
+
+The branch-and-bound solver only needs the answer to one question per node:
+"what is the optimum of this LP (with these bounds)?".  This module hides
+whether that answer comes from ``scipy.optimize.linprog`` or from the pure
+Python simplex in :mod:`repro.milp.simplex`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.milp.simplex import LpSolution, solve_lp_simplex
+
+try:  # pragma: no cover - exercised implicitly depending on environment
+    from scipy.optimize import linprog as _scipy_linprog
+except ImportError:  # pragma: no cover
+    _scipy_linprog = None
+
+
+def scipy_available() -> bool:
+    """Whether ``scipy.optimize.linprog`` can be used."""
+    return _scipy_linprog is not None
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    engine: str = "auto",
+) -> LpSolution:
+    """Minimise ``c @ x`` subject to the given system.
+
+    Parameters
+    ----------
+    engine:
+        ``"auto"`` (scipy when importable, else simplex), ``"scipy"`` or
+        ``"simplex"``.
+    """
+    if engine not in ("auto", "scipy", "simplex"):
+        raise SolverError(f"unknown LP engine {engine!r}")
+    use_scipy = engine == "scipy" or (engine == "auto" and scipy_available())
+    if engine == "scipy" and not scipy_available():
+        raise SolverError("scipy LP engine requested but scipy is not installed")
+    if use_scipy:
+        return _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+    return solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+
+
+def _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, lower, upper) -> LpSolution:
+    bounds = list(zip(lower, [u if np.isfinite(u) else None for u in upper]))
+    result = _scipy_linprog(
+        c,
+        A_ub=a_ub if np.size(a_ub) else None,
+        b_ub=b_ub if np.size(b_ub) else None,
+        A_eq=a_eq if np.size(a_eq) else None,
+        b_eq=b_eq if np.size(b_eq) else None,
+        bounds=bounds,
+        method="highs",
+    )
+    # scipy status codes: 0 ok, 1 iteration limit, 2 infeasible, 3 unbounded.
+    if result.status == 0:
+        return LpSolution("optimal", np.asarray(result.x, dtype=float), float(result.fun))
+    if result.status == 2:
+        return LpSolution("infeasible")
+    if result.status == 3:
+        return LpSolution("unbounded")
+    return LpSolution("iteration_limit")

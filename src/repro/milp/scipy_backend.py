@@ -1,0 +1,88 @@
+"""MILP backend delegating to ``scipy.optimize.milp`` (HiGHS).
+
+HiGHS is the fastest solver available in this environment and plays the role
+of CPLEX in the original paper: it is handed the model together with a time
+limit and asked for the best solution it can find in that budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.milp.model import Model
+from repro.milp.result import SolveResult, SolveStatus
+from repro.milp.standard_form import to_standard_form
+from repro.utils.timer import Stopwatch
+
+try:  # pragma: no cover - depends on environment
+    from scipy.optimize import Bounds, LinearConstraint, milp as _scipy_milp
+except ImportError:  # pragma: no cover
+    _scipy_milp = None
+    Bounds = None
+    LinearConstraint = None
+
+
+def highs_available() -> bool:
+    """Whether the ``scipy.optimize.milp`` backend can be used."""
+    return _scipy_milp is not None
+
+
+def solve_with_highs(
+    model: Model,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 1e-6,
+) -> SolveResult:
+    """Solve ``model`` with HiGHS via scipy, honouring ``time_limit``."""
+    if not highs_available():
+        raise SolverError("scipy.optimize.milp is not available in this environment")
+
+    watch = Stopwatch()
+    form = to_standard_form(model)
+
+    constraints = []
+    if form.a_ub.size:
+        constraints.append(LinearConstraint(form.a_ub, -np.inf, form.b_ub))
+    if form.a_eq.size:
+        constraints.append(LinearConstraint(form.a_eq, form.b_eq, form.b_eq))
+
+    bounds = Bounds(form.lower, form.upper)
+    options = {"presolve": True, "mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = max(1e-3, float(time_limit))
+
+    result = _scipy_milp(
+        c=form.c,
+        constraints=constraints or None,
+        integrality=form.integrality,
+        bounds=bounds,
+        options=options,
+    )
+
+    elapsed = watch.elapsed()
+    # scipy milp statuses: 0 optimal, 1 iteration/time limit, 2 infeasible,
+    # 3 unbounded, 4 other.
+    if result.x is not None:
+        values = form.assignment(np.asarray(result.x, dtype=float))
+        objective = form.objective_sign * float(result.fun) + form.objective_offset
+        bound = None
+        if getattr(result, "mip_dual_bound", None) is not None:
+            bound = form.objective_sign * float(result.mip_dual_bound) + form.objective_offset
+        status = SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=values,
+            bound=bound,
+            solve_time=elapsed,
+            backend="highs",
+        )
+    if result.status == 2:
+        return SolveResult(SolveStatus.INFEASIBLE, solve_time=elapsed, backend="highs")
+    if result.status == 3:
+        return SolveResult(SolveStatus.UNBOUNDED, solve_time=elapsed, backend="highs")
+    if result.status == 1:
+        return SolveResult(SolveStatus.TIMEOUT, solve_time=elapsed, backend="highs")
+    return SolveResult(SolveStatus.ERROR, solve_time=elapsed, backend="highs")

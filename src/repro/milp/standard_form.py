@@ -1,0 +1,133 @@
+"""Lowering a :class:`~repro.milp.model.Model` to matrix standard form.
+
+The standard form produced here matches the conventions of
+``scipy.optimize.linprog``/``milp``:
+
+* minimise ``c @ x``
+* ``A_ub @ x <= b_ub``
+* ``A_eq @ x == b_eq``
+* ``lb <= x <= ub``
+* ``integrality[i] == 1`` marks integer variables.
+
+Maximisation models are lowered by negating ``c``; callers use
+:attr:`StandardForm.objective_sign` and :attr:`StandardForm.objective_offset`
+to translate optimal values back to the model's original objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.milp.constraint import ConstraintSense
+from repro.milp.model import Model, ObjectiveSense
+from repro.milp.expression import Variable
+
+
+@dataclass
+class StandardForm:
+    """Matrix representation of a model, plus bookkeeping to map back."""
+
+    variables: List[Variable]
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+    objective_sign: float
+    objective_offset: float
+
+    @property
+    def num_variables(self) -> int:
+        """Number of columns."""
+        return len(self.variables)
+
+    def index_of(self, var: Variable) -> int:
+        """Column index of ``var``."""
+        try:
+            return self._index[var]
+        except AttributeError:
+            self._index: Dict[Variable, int] = {v: i for i, v in enumerate(self.variables)}
+            return self._index[var]
+
+    def model_objective(self, x: np.ndarray) -> float:
+        """Translate a standard-form vector back to the model objective."""
+        return self.objective_sign * float(self.c @ x) + self.objective_offset
+
+    def assignment(self, x: np.ndarray) -> Dict[Variable, float]:
+        """Build a variable->value mapping from a solution vector."""
+        return {var: float(x[i]) for i, var in enumerate(self.variables)}
+
+
+def to_standard_form(model: Model) -> StandardForm:
+    """Lower ``model`` to :class:`StandardForm`.
+
+    Fixed variables (see :meth:`Model.fix_var`) are lowered as equal lower and
+    upper bounds so that all backends honour them uniformly.
+    """
+    variables = model.variables
+    if not variables:
+        raise ModelError("cannot lower a model with no variables")
+    index = {var: i for i, var in enumerate(variables)}
+    n = len(variables)
+
+    # Objective: scipy always minimises, so a MAXIMIZE model flips sign.
+    sign = -1.0 if model.sense is ObjectiveSense.MAXIMIZE else 1.0
+    c = np.zeros(n)
+    for var, coeff in model.objective.terms.items():
+        c[index[var]] = sign * coeff
+    offset = model.objective.constant
+
+    ub_rows: List[np.ndarray] = []
+    ub_rhs: List[float] = []
+    eq_rows: List[np.ndarray] = []
+    eq_rhs: List[float] = []
+
+    for constraint in model.constraints:
+        row = np.zeros(n)
+        for var, coeff in constraint.lhs_terms.items():
+            row[index[var]] += coeff
+        rhs = constraint.rhs
+        if constraint.sense is ConstraintSense.LE:
+            ub_rows.append(row)
+            ub_rhs.append(rhs)
+        elif constraint.sense is ConstraintSense.GE:
+            ub_rows.append(-row)
+            ub_rhs.append(-rhs)
+        else:
+            eq_rows.append(row)
+            eq_rhs.append(rhs)
+
+    a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+    b_ub = np.asarray(ub_rhs, dtype=float)
+    a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+    b_eq = np.asarray(eq_rhs, dtype=float)
+
+    lower = np.zeros(n)
+    upper = np.zeros(n)
+    integrality = np.zeros(n)
+    for var, i in index.items():
+        lo, hi = model.effective_bounds(var)
+        lower[i] = lo
+        upper[i] = hi
+        integrality[i] = 1.0 if var.is_integer else 0.0
+
+    return StandardForm(
+        variables=variables,
+        c=c,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        lower=lower,
+        upper=upper,
+        integrality=integrality,
+        objective_sign=sign,
+        objective_offset=offset,
+    )

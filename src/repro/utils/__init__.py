@@ -1,0 +1,21 @@
+"""Small shared utilities (timers, RNG helpers, validation helpers)."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Stopwatch, Deadline
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "Deadline",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,66 @@
+"""Wall-clock helpers used by the solvers and the planner.
+
+The paper runs CPLEX with a per-query timeout and takes the best incumbent.
+:class:`Deadline` gives solver backends and the planner a single shared
+notion of "how much time is left", and :class:`Stopwatch` is used to measure
+planning time for the Figure 6 experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Stopwatch:
+    """Measure elapsed wall-clock time.
+
+    The stopwatch starts on construction; :meth:`elapsed` can be called any
+    number of times and :meth:`restart` resets the origin.
+    """
+
+    _start: float = field(default_factory=time.perf_counter)
+
+    def restart(self) -> None:
+        """Reset the stopwatch origin to now."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+class Deadline:
+    """A wall-clock budget shared between nested solver components.
+
+    A ``Deadline`` with ``limit=None`` never expires, which keeps calling code
+    free of ``if timeout is not None`` branches.
+    """
+
+    def __init__(self, limit: Optional[float] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"time limit must be non-negative, got {limit}")
+        self._limit = limit
+        self._start = time.perf_counter()
+
+    @property
+    def limit(self) -> Optional[float]:
+        """The configured limit in seconds, or ``None`` for unlimited."""
+        return self._limit
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        """Seconds remaining, ``math.inf`` when unlimited, never negative."""
+        if self._limit is None:
+            return math.inf
+        return max(0.0, self._limit - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget has been used up."""
+        return self.remaining() <= 0.0

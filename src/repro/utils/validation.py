@@ -1,0 +1,47 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def _check_finite(name: str, value: Number) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless it is > 0."""
+    value = _check_finite(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless it is >= 0."""
+    value = _check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> float:
+    """Return ``value`` as a float, raising unless it lies in [0, 1]."""
+    value = _check_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> float:
+    """Return ``value`` as a float, raising unless ``low <= value <= high``."""
+    value = _check_finite(name, value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value

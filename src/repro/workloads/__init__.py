@@ -1,0 +1,22 @@
+"""Workload generation and canonical experiment scenarios."""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import (
+    ClusterScenarioConfig,
+    Scenario,
+    SimulationScenarioConfig,
+    build_cluster_scenario,
+    build_simulation_scenario,
+)
+
+__all__ = [
+    "ZipfSampler",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "Scenario",
+    "SimulationScenarioConfig",
+    "ClusterScenarioConfig",
+    "build_simulation_scenario",
+    "build_cluster_scenario",
+]

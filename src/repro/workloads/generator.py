@@ -1,0 +1,85 @@
+"""The query workload generator used across all experiments.
+
+Matching §V: a large universe of base streams is distributed uniformly over
+the hosts; queries are k-way joins (equal parts of each arity in the
+configured mix) whose base streams are chosen by a Zipfian distribution,
+which controls how much overlap — and therefore reuse opportunity — exists
+between queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.dsps.query import QueryWorkloadItem
+from repro.exceptions import WorkloadError
+from repro.utils.rng import RandomLike, ensure_rng
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a query workload.
+
+    Attributes
+    ----------
+    num_queries:
+        How many queries to generate.
+    arities:
+        The join arities to mix in equal parts (the paper uses (2, 3, 4) for
+        the simulation and (2, 3) for the cluster deployment).
+    zipf_exponent:
+        Skew of base-stream popularity (0 = uniform, 1 = paper default).
+    """
+
+    num_queries: int
+    arities: Tuple[int, ...] = (2, 3, 4)
+    zipf_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise WorkloadError("num_queries must be non-negative")
+        if not self.arities or any(a < 2 for a in self.arities):
+            raise WorkloadError("arities must all be >= 2")
+
+
+class WorkloadGenerator:
+    """Generate :class:`QueryWorkloadItem` lists over a base-stream universe."""
+
+    def __init__(
+        self,
+        base_stream_names: Sequence[str],
+        spec: WorkloadSpec,
+        random_state: RandomLike = None,
+    ) -> None:
+        if not base_stream_names:
+            raise WorkloadError("the base stream universe must not be empty")
+        if max(spec.arities) > len(base_stream_names):
+            raise WorkloadError(
+                "cannot generate joins wider than the base stream universe"
+            )
+        self.base_stream_names = list(base_stream_names)
+        self.spec = spec
+        self._rng = ensure_rng(random_state)
+        self._sampler = ZipfSampler(
+            len(self.base_stream_names), spec.zipf_exponent, self._rng
+        )
+
+    def generate(self) -> List[QueryWorkloadItem]:
+        """Generate the full workload (deterministic given the seed)."""
+        items: List[QueryWorkloadItem] = []
+        arities = self.spec.arities
+        for index in range(self.spec.num_queries):
+            arity = arities[index % len(arities)]
+            ranks = self._sampler.sample_distinct(arity)
+            names = tuple(self.base_stream_names[r] for r in ranks)
+            items.append(QueryWorkloadItem(base_names=names))
+        return items
+
+    def generate_batches(self, batch_size: int) -> List[List[QueryWorkloadItem]]:
+        """Generate the workload pre-grouped into batches of ``batch_size``."""
+        if batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        items = self.generate()
+        return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]

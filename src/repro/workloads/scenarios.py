@@ -1,0 +1,207 @@
+"""Canonical experiment scenarios (§V-A simulation, §V-B cluster).
+
+A :class:`Scenario` bundles the parameters of one evaluation environment and
+can build fresh, independent :class:`~repro.dsps.catalog.SystemCatalog`
+instances and workloads from them.  Fresh catalogs matter because every
+planner under comparison must start from an identical, empty system.
+
+The default sizes are scaled down from the paper (50 hosts / 500 base
+streams / 1000 queries) so the full benchmark suite runs in minutes on a
+laptop; every size is a parameter, so paper-scale runs are a constructor
+argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SimulationScenarioConfig:
+    """Parameters of the simulated data-centre environment (§V-A).
+
+    Paper values: 50 hosts, 500 base streams at 10 Mbps, 1 Gbps links, CPU
+    calibrated to make the system both CPU- and bandwidth-constrained.  The
+    scaled defaults keep the same base-stream rate and link speed but shrink
+    the cluster so a full admission experiment saturates within ~60 queries.
+    The exhaustive (bushy) decomposition is the default because join-order
+    flexibility is part of what the paper credits SQPR for ("SQPR is able to
+    adjust the query structure").
+    """
+
+    num_hosts: int = 8
+    num_base_streams: int = 60
+    base_stream_rate: float = 10.0  # Mbps
+    link_capacity: float = 1000.0  # Mbps
+    host_bandwidth: float = 400.0  # Mbps
+    host_cpu_capacity: float = 8.0  # "join units"
+    cpu_per_rate: float = 0.05
+    cpu_fixed: float = 0.1
+    selectivity_low: float = 0.2
+    selectivity_high: float = 0.5
+    decomposition: DecompositionMode = DecompositionMode.EXHAUSTIVE
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ClusterScenarioConfig:
+    """Parameters of the Emulab cluster deployment (§V-B).
+
+    Paper values: 15 hosts on a 10 Mbps LAN, 300 base streams with 10 Kbps
+    rates, each host saturating at roughly 15 two/three-way joins.
+    """
+
+    num_hosts: int = 15
+    num_base_streams: int = 300
+    base_stream_rate: float = 0.01  # Mbps (10 Kbps)
+    link_capacity: float = 10.0  # Mbps
+    host_bandwidth: float = 10.0  # Mbps
+    host_cpu_capacity: float = 1.5
+    cpu_per_rate: float = 0.05
+    cpu_fixed: float = 0.1
+    selectivity_low: float = 0.2
+    selectivity_high: float = 0.5
+    decomposition: DecompositionMode = DecompositionMode.CANONICAL
+    seed: int = 11
+
+
+@dataclass
+class Scenario:
+    """A reproducible environment: catalog factory plus workload factory."""
+
+    name: str
+    num_hosts: int
+    num_base_streams: int
+    base_stream_rate: float
+    link_capacity: float
+    host_bandwidth: float
+    host_cpu_capacity: float
+    cost_model: LinearCostModel
+    decomposition: DecompositionMode
+    seed: int
+
+    # ------------------------------------------------------------------ catalog
+    def base_stream_names(self) -> List[str]:
+        """The names of the base streams of this scenario."""
+        return [f"b{i}" for i in range(self.num_base_streams)]
+
+    def build_catalog(self) -> SystemCatalog:
+        """Build a fresh catalog: hosts, topology and base streams.
+
+        Base streams are distributed uniformly (round-robin from a seeded
+        shuffle) over the hosts, as in the paper's workload description.
+        """
+        catalog = SystemCatalog(
+            cost_model=self.cost_model,
+            decomposition=self.decomposition,
+            default_link_capacity=self.link_capacity,
+        )
+        for index in range(self.num_hosts):
+            catalog.add_host(
+                cpu_capacity=self.host_cpu_capacity,
+                bandwidth_capacity=self.host_bandwidth,
+                name=f"host{index}",
+            )
+        rng = ensure_rng(self.seed)
+        host_order = list(rng.permutation(self.num_hosts))
+        for index, name in enumerate(self.base_stream_names()):
+            host_id = int(host_order[index % self.num_hosts])
+            catalog.add_base_stream(name, self.base_stream_rate, host_id)
+        return catalog
+
+    # ----------------------------------------------------------------- workload
+    def workload(
+        self,
+        num_queries: int,
+        arities: Tuple[int, ...] = (2, 3, 4),
+        zipf_exponent: float = 1.0,
+        seed_offset: int = 0,
+    ) -> List[QueryWorkloadItem]:
+        """Generate a deterministic workload over this scenario's streams."""
+        spec = WorkloadSpec(
+            num_queries=num_queries, arities=arities, zipf_exponent=zipf_exponent
+        )
+        generator = WorkloadGenerator(
+            self.base_stream_names(), spec, random_state=self.seed + 1000 + seed_offset
+        )
+        return generator.generate()
+
+    # ------------------------------------------------------------------ scaling
+    def with_hosts(self, num_hosts: int) -> "Scenario":
+        """A copy of this scenario with a different number of hosts."""
+        return replace(self, num_hosts=num_hosts)
+
+    def with_resources(
+        self, cpu_factor: float = 1.0, bandwidth_factor: float = 1.0
+    ) -> "Scenario":
+        """A copy with scaled per-host CPU and network capacities (Fig. 5b)."""
+        return replace(
+            self,
+            host_cpu_capacity=self.host_cpu_capacity * cpu_factor,
+            host_bandwidth=self.host_bandwidth * bandwidth_factor,
+            link_capacity=self.link_capacity * bandwidth_factor,
+        )
+
+    def with_base_streams(self, num_base_streams: int) -> "Scenario":
+        """A copy with a different base-stream universe size (Fig. 4c)."""
+        return replace(self, num_base_streams=num_base_streams)
+
+
+def build_simulation_scenario(
+    config: Optional[SimulationScenarioConfig] = None,
+) -> Scenario:
+    """The simulated data-centre scenario of §V-A."""
+    config = config or SimulationScenarioConfig()
+    cost_model = LinearCostModel(
+        cpu_per_rate=config.cpu_per_rate,
+        cpu_fixed=config.cpu_fixed,
+        selectivity_low=config.selectivity_low,
+        selectivity_high=config.selectivity_high,
+        seed=config.seed,
+    )
+    return Scenario(
+        name="simulation",
+        num_hosts=config.num_hosts,
+        num_base_streams=config.num_base_streams,
+        base_stream_rate=config.base_stream_rate,
+        link_capacity=config.link_capacity,
+        host_bandwidth=config.host_bandwidth,
+        host_cpu_capacity=config.host_cpu_capacity,
+        cost_model=cost_model,
+        decomposition=config.decomposition,
+        seed=config.seed,
+    )
+
+
+def build_cluster_scenario(
+    config: Optional[ClusterScenarioConfig] = None,
+) -> Scenario:
+    """The Emulab-like cluster deployment scenario of §V-B."""
+    config = config or ClusterScenarioConfig()
+    cost_model = LinearCostModel(
+        cpu_per_rate=config.cpu_per_rate,
+        cpu_fixed=config.cpu_fixed,
+        selectivity_low=config.selectivity_low,
+        selectivity_high=config.selectivity_high,
+        seed=config.seed,
+    )
+    return Scenario(
+        name="cluster",
+        num_hosts=config.num_hosts,
+        num_base_streams=config.num_base_streams,
+        base_stream_rate=config.base_stream_rate,
+        link_capacity=config.link_capacity,
+        host_bandwidth=config.host_bandwidth,
+        host_cpu_capacity=config.host_cpu_capacity,
+        cost_model=cost_model,
+        decomposition=config.decomposition,
+        seed=config.seed,
+    )

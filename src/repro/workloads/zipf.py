@@ -1,0 +1,86 @@
+"""A deterministic Zipf sampler over a finite universe.
+
+The paper selects the base streams of each query "according to a Zipfian
+distribution with parameter 1", and Fig. 4(c) sweeps the Zipf parameter from
+0 (uniform) to 2 to control the degree of overlap between queries.  NumPy's
+built-in Zipf sampler only supports parameters > 1 and an unbounded support,
+so this module implements the standard finite-support Zipf distribution
+
+    P(rank k) ∝ 1 / k^s,   k = 1..N, s >= 0
+
+with inverse-CDF sampling from a seeded generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.validation import check_non_negative
+
+
+class ZipfSampler:
+    """Sample ranks 0..n-1 with probability proportional to 1/(rank+1)^s."""
+
+    def __init__(self, num_items: int, exponent: float, random_state: RandomLike = None) -> None:
+        if num_items <= 0:
+            raise WorkloadError("ZipfSampler needs a positive number of items")
+        check_non_negative("zipf exponent", exponent)
+        self.num_items = int(num_items)
+        self.exponent = float(exponent)
+        self._rng = ensure_rng(random_state)
+        ranks = np.arange(1, self.num_items + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        self._probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._probabilities)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The probability of each rank (rank 0 is the most popular)."""
+        return self._probabilities.copy()
+
+    def sample(self) -> int:
+        """Draw a single rank in [0, num_items)."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u, side="left"))
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` ranks (with repetition)."""
+        if count < 0:
+            raise WorkloadError("sample count must be non-negative")
+        u = self._rng.random(count)
+        return [int(i) for i in np.searchsorted(self._cdf, u, side="left")]
+
+    def sample_distinct(self, count: int, max_attempts: int = 10_000) -> List[int]:
+        """Draw ``count`` distinct ranks (rejection sampling).
+
+        Used to pick the distinct base streams of one query.  Raises
+        :class:`WorkloadError` when the universe is too small.
+        """
+        if count > self.num_items:
+            raise WorkloadError(
+                f"cannot draw {count} distinct items from a universe of {self.num_items}"
+            )
+        chosen: List[int] = []
+        seen = set()
+        attempts = 0
+        while len(chosen) < count:
+            attempts += 1
+            if attempts > max_attempts:
+                # Extremely skewed distributions may rarely yield distinct
+                # ranks; fall back to the most popular unseen ranks.
+                for rank in range(self.num_items):
+                    if rank not in seen:
+                        seen.add(rank)
+                        chosen.append(rank)
+                        if len(chosen) == count:
+                            break
+                break
+            rank = self.sample()
+            if rank not in seen:
+                seen.add(rank)
+                chosen.append(rank)
+        return chosen

@@ -1,0 +1,130 @@
+"""Tests for adaptive re-planning (§IV-B) and the optimistic bound (§V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveReplanner, garbage_collect
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.dsps.resource_monitor import ResourceMonitor
+from tests.conftest import make_catalog, query_over
+
+
+def planner_with_queries(names_list, **catalog_kwargs):
+    catalog = make_catalog(**catalog_kwargs)
+    planner = SQPRPlanner(
+        catalog, config=PlannerConfig(time_limit=5.0, validate_after_apply=True)
+    )
+    for names in names_list:
+        planner.submit(query_over(*names))
+    return catalog, planner
+
+
+class TestGarbageCollect:
+    def test_collect_preserves_admitted_queries(self):
+        catalog, planner = planner_with_queries(
+            [("b0", "b1"), ("b1", "b2"), ("b0", "b1", "b2")]
+        )
+        collected = garbage_collect(catalog, planner.allocation)
+        assert collected.admitted_queries == planner.allocation.admitted_queries
+        assert collected.validate() == []
+        for query_id in collected.admitted_queries:
+            query = catalog.get_query(query_id)
+            assert collected.is_provided(query.result_stream)
+
+    def test_collect_drops_orphaned_structures(self):
+        catalog, planner = planner_with_queries([("b0", "b1")])
+        allocation = planner.allocation
+        # Orphan: base stream b3 is not used by any admitted query, so any
+        # structure shipping it around must be collected away.
+        allocation.available.add((0, 3))
+        allocation.available.add((1, 3))
+        allocation.flows.add((0, 1, 3))
+        collected = garbage_collect(catalog, allocation)
+        assert (0, 1, 3) not in collected.flows
+        assert (1, 3) not in collected.available
+
+
+class TestAdaptiveReplanner:
+    def test_no_victims_when_no_drift(self):
+        catalog, planner = planner_with_queries([("b0", "b1"), ("b1", "b2")])
+        monitor = ResourceMonitor(catalog)
+        replanner = AdaptiveReplanner(planner, monitor)
+        assert replanner.queries_needing_replan() == []
+        report = replanner.replan()
+        assert report.victims == []
+
+    def test_drifted_query_is_replanned(self):
+        catalog, planner = planner_with_queries([("b0", "b1"), ("b2", "b3")])
+        monitor = ResourceMonitor(catalog)
+        # Make the first query's operator drift well past the threshold.
+        first_query = catalog.get_query(0)
+        operator_id = next(iter(first_query.candidate_operators))
+        monitor.set_operator_drift(operator_id, 1.5)
+        replanner = AdaptiveReplanner(planner, monitor, drift_threshold=0.2)
+        victims = replanner.queries_needing_replan()
+        assert 0 in victims
+        report = replanner.replan(victims)
+        assert 0 in report.victims
+        assert report.fully_recovered
+        assert planner.allocation.validate() == []
+        assert 0 in planner.allocation.admitted_queries
+
+    def test_explicit_victims_are_readmitted(self):
+        catalog, planner = planner_with_queries([("b0", "b1"), ("b1", "b2")])
+        monitor = ResourceMonitor(catalog)
+        replanner = AdaptiveReplanner(planner, monitor)
+        report = replanner.replan([0])
+        assert report.victims == [0]
+        assert 0 in report.readmitted
+        assert planner.allocation.validate() == []
+
+    def test_unknown_victims_ignored(self):
+        catalog, planner = planner_with_queries([("b0", "b1")])
+        monitor = ResourceMonitor(catalog)
+        replanner = AdaptiveReplanner(planner, monitor)
+        report = replanner.replan([999])
+        assert report.victims == []
+
+
+class TestOptimisticBound:
+    def test_counts_reuse(self, tiny_catalog):
+        bound = OptimisticBoundPlanner(tiny_catalog)
+        first = bound.submit(query_over("b0", "b1"))
+        second = bound.submit(query_over("b0", "b1", "b2"))
+        assert first.admitted and second.admitted
+        # The second query reuses the first join, so its marginal cost is a
+        # single operator.
+        assert second.marginal_cpu < first.marginal_cpu + 1.0
+        assert bound.num_admitted == 2
+
+    def test_duplicate_is_free(self, tiny_catalog):
+        bound = OptimisticBoundPlanner(tiny_catalog)
+        bound.submit(query_over("b0", "b1"))
+        duplicate = bound.submit(query_over("b1", "b0"))
+        assert duplicate.admitted
+        assert duplicate.marginal_cpu == 0.0
+
+    def test_rejects_when_aggregate_cpu_exhausted(self):
+        catalog = make_catalog(num_hosts=2, cpu=0.6, num_base=4)  # total 1.2 CPU
+        bound = OptimisticBoundPlanner(catalog)
+        outcomes = [
+            bound.submit(query_over("b0", "b1")),
+            bound.submit(query_over("b2", "b3")),
+        ]
+        assert outcomes[0].admitted
+        assert not outcomes[1].admitted
+
+    def test_bound_dominates_sqpr_on_same_workload(self):
+        """The aggregate-host relaxation admits at least as many queries as SQPR."""
+        names_list = [("b0", "b1"), ("b1", "b2"), ("b0", "b2"), ("b0", "b1", "b2"), ("b2", "b3")]
+        catalog_a = make_catalog(num_hosts=2, cpu=2.5, num_base=4)
+        planner = SQPRPlanner(catalog_a, config=PlannerConfig(time_limit=5.0))
+        for names in names_list:
+            planner.submit(query_over(*names))
+        catalog_b = make_catalog(num_hosts=2, cpu=2.5, num_base=4)
+        bound = OptimisticBoundPlanner(catalog_b)
+        for names in names_list:
+            bound.submit(query_over(*names))
+        assert bound.num_admitted >= planner.num_admitted

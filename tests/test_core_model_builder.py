@@ -1,0 +1,152 @@
+"""Tests for the reduced MILP construction and solution decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model_builder import build_model
+from repro.core.reduction import compute_scope
+from repro.core.solution import decode_solution
+from repro.core.weights import ObjectiveWeights
+from repro.dsps.allocation import Allocation
+from repro.milp import MilpSolver
+from tests.conftest import make_catalog, query_over
+
+
+def solve_for(catalog, allocation, queries, **build_kwargs):
+    weights = ObjectiveWeights.paper_default(catalog)
+    scope = compute_scope(catalog, allocation, queries)
+    built = build_model(catalog, allocation, scope, weights, **build_kwargs)
+    result = MilpSolver(time_limit=10.0).solve(built.model)
+    return built, result
+
+
+class TestModelStructure:
+    def test_variable_counts(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(tiny_catalog)
+        weights = ObjectiveWeights.paper_default(tiny_catalog)
+        scope = compute_scope(tiny_catalog, allocation, [query])
+        built = build_model(tiny_catalog, allocation, scope, weights)
+        hosts = tiny_catalog.num_hosts
+        streams = len(scope.streams)
+        assert len(built.y_vars) == hosts * streams
+        assert len(built.x_vars) == hosts * (hosts - 1) * streams
+        assert len(built.d_vars) == hosts  # only the new result stream
+        assert len(built.z_vars) == hosts * len(scope.operators)
+        assert built.model.num_integer_variables == (
+            len(built.y_vars) + len(built.x_vars) + len(built.d_vars) + len(built.z_vars)
+        )
+
+    def test_empty_catalog_rejected(self):
+        from repro.dsps.catalog import SystemCatalog
+        from repro.core.reduction import ReplanScope
+        from repro.exceptions import ModelError
+
+        catalog = SystemCatalog()
+        scope = ReplanScope(
+            new_queries=frozenset(),
+            streams=frozenset(),
+            operators=frozenset(),
+            keep_provided=frozenset(),
+            replanned_queries=frozenset(),
+        )
+        with pytest.raises(ModelError):
+            build_model(catalog, Allocation(catalog), scope, ObjectiveWeights.admission_only())
+
+    def test_frozen_mode_credits_existing_placements(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        operator = tiny_catalog.producers_of(q1.result_stream)[0]
+        allocation = Allocation(tiny_catalog)
+        allocation.available |= {(0, 0), (0, 1), (0, q1.result_stream)}
+        allocation.placements.add((0, operator.operator_id))
+        allocation.provided[q1.result_stream] = 0
+        allocation.admitted_queries.add(q1.query_id)
+        weights = ObjectiveWeights.paper_default(tiny_catalog)
+        scope = compute_scope(
+            tiny_catalog, allocation, [q2], replan_overlapping=False
+        )
+        built = build_model(
+            tiny_catalog, allocation, scope, weights, frozen_mode=True
+        )
+        assert (0, operator.operator_id) in built.placed_operator_credit
+        assert (0, q1.result_stream) in built.availability_credit
+        assert built.teardown_streams == frozenset()
+        assert built.teardown_operators == frozenset()
+
+
+class TestSolveAndDecode:
+    def test_first_query_is_admitted_and_feasible(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(tiny_catalog)
+        built, result = solve_for(tiny_catalog, allocation, [query])
+        assert result.has_solution
+        decoded = decode_solution(tiny_catalog, allocation, built, result)
+        assert query.query_id in decoded.admitted_new_queries
+        allocation.apply(decoded.delta)
+        assert allocation.validate() == []
+        assert allocation.is_provided(query.result_stream)
+
+    def test_infeasible_when_no_cpu(self):
+        catalog = make_catalog(num_hosts=2, cpu=0.05, num_base=2)
+        query = catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(catalog)
+        built, result = solve_for(catalog, allocation, [query])
+        if result.has_solution:
+            decoded = decode_solution(catalog, allocation, built, result)
+            assert query.query_id not in decoded.admitted_new_queries
+
+    def test_force_admission_makes_impossible_model_infeasible(self):
+        catalog = make_catalog(num_hosts=2, cpu=0.05, num_base=2)
+        query = catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(catalog)
+        built, result = solve_for(
+            catalog, allocation, [query], force_admission=True
+        )
+        assert not result.has_solution
+
+    def test_relay_disabled_still_plans_direct_transfers(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(tiny_catalog)
+        built, result = solve_for(tiny_catalog, allocation, [query], allow_relay=False)
+        decoded = decode_solution(tiny_catalog, allocation, built, result)
+        assert query.query_id in decoded.admitted_new_queries
+        allocation.apply(decoded.delta)
+        assert allocation.validate() == []
+
+    def test_reuse_of_admitted_subquery(self, tiny_catalog):
+        """A second query sharing the first one's join must not pay for it twice."""
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(tiny_catalog)
+        built, result = solve_for(tiny_catalog, allocation, [q1])
+        decoded = decode_solution(tiny_catalog, allocation, built, result)
+        allocation.apply(decoded.delta)
+        cpu_after_first = allocation.total_cpu_used()
+
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        built2, result2 = solve_for(tiny_catalog, allocation, [q2])
+        decoded2 = decode_solution(tiny_catalog, allocation, built2, result2)
+        assert q2.query_id in decoded2.admitted_new_queries
+        allocation.apply(decoded2.delta)
+        assert allocation.validate() == []
+        # The three-way join must reuse the two-way sub-join: only one extra
+        # operator's worth of CPU may be added.
+        extra = allocation.total_cpu_used() - cpu_after_first
+        operators = [tiny_catalog.get_operator(o) for o in q2.candidate_operators]
+        max_single = max(op.cpu_cost for op in operators)
+        assert extra <= max_single + 1e-6
+
+    def test_keep_admitted_constraint_preserves_existing_query(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        allocation = Allocation(tiny_catalog)
+        built, result = solve_for(tiny_catalog, allocation, [q1])
+        allocation.apply(decode_solution(tiny_catalog, allocation, built, result).delta)
+
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b3"))
+        built2, result2 = solve_for(tiny_catalog, allocation, [q2])
+        decoded2 = decode_solution(tiny_catalog, allocation, built2, result2)
+        allocation.apply(decoded2.delta)
+        # (IV.9): q1's result stream must still be provided after re-planning.
+        assert allocation.is_provided(q1.result_stream)
+        assert allocation.validate() == []

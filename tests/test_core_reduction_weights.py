@@ -1,0 +1,110 @@
+"""Tests for objective weights and the problem-reduction (scope) step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reduction import compute_scope
+from repro.core.weights import ObjectiveWeights
+from repro.dsps.allocation import Allocation
+from tests.conftest import make_catalog, query_over
+
+
+class TestObjectiveWeights:
+    def test_paper_default_normalisation(self, tiny_catalog):
+        weights = ObjectiveWeights.paper_default(tiny_catalog)
+        assert weights.admission > weights.cpu
+        assert weights.network == pytest.approx(1.0 / tiny_catalog.total_bandwidth_capacity())
+        # At the default load_balancing=0.5, CPU and balance weights are equal.
+        assert weights.cpu == pytest.approx(weights.balance)
+
+    def test_load_balancing_extremes(self, tiny_catalog):
+        pure_cpu = ObjectiveWeights.paper_default(tiny_catalog, load_balancing=0.0)
+        assert pure_cpu.balance == 0.0
+        assert pure_cpu.cpu > 0.0
+        pure_balance = ObjectiveWeights.paper_default(tiny_catalog, load_balancing=1.0)
+        assert pure_balance.cpu == 0.0
+        assert pure_balance.balance > 0.0
+
+    def test_invalid_load_balancing_rejected(self, tiny_catalog):
+        with pytest.raises(ValueError):
+            ObjectiveWeights.paper_default(tiny_catalog, load_balancing=1.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(admission=-1.0, network=0.0, cpu=0.0, balance=0.0)
+
+    def test_admission_only(self):
+        weights = ObjectiveWeights.admission_only()
+        assert weights.network == weights.cpu == weights.balance == 0.0
+
+
+class TestComputeScope:
+    def test_scope_of_single_query(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        allocation = Allocation(tiny_catalog)
+        scope = compute_scope(tiny_catalog, allocation, [query])
+        assert scope.streams == query.candidate_streams
+        assert scope.operators == query.candidate_operators
+        assert scope.keep_provided == frozenset()
+        assert scope.replanned_queries == frozenset()
+        assert scope.new_queries == frozenset({query.query_id})
+
+    def test_overlapping_admitted_query_joins_scope(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b3"))
+        allocation = Allocation(tiny_catalog)
+        allocation.admitted_queries.add(q1.query_id)
+        allocation.provided[q1.result_stream] = 0
+        scope = compute_scope(tiny_catalog, allocation, [q2])
+        assert q1.query_id in scope.replanned_queries
+        assert q1.result_stream in scope.keep_provided
+        assert set(q1.candidate_streams) <= set(scope.streams)
+
+    def test_replanning_disabled(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b3"))
+        allocation = Allocation(tiny_catalog)
+        allocation.admitted_queries.add(q1.query_id)
+        allocation.provided[q1.result_stream] = 0
+        scope = compute_scope(tiny_catalog, allocation, [q2], replan_overlapping=False)
+        assert scope.replanned_queries == frozenset()
+        assert scope.streams == q2.candidate_streams
+
+    def test_max_replanned_queries_cap(self, tiny_catalog):
+        allocation = Allocation(tiny_catalog)
+        admitted = []
+        for names in (("b0", "b1"), ("b0", "b2"), ("b0", "b3"), ("b1", "b2")):
+            q = tiny_catalog.register_query(query_over(*names))
+            allocation.admitted_queries.add(q.query_id)
+            allocation.provided[q.result_stream] = 0
+            admitted.append(q)
+        new = tiny_catalog.register_query(query_over("b0", "b1", "b2", "b3"))
+        capped = compute_scope(
+            tiny_catalog, allocation, [new], max_replanned_queries=2
+        )
+        assert len(capped.replanned_queries) == 2
+        uncapped = compute_scope(
+            tiny_catalog, allocation, [new], max_replanned_queries=100
+        )
+        assert len(uncapped.replanned_queries) == 4
+
+    def test_disjoint_queries_not_replanned(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        q2 = tiny_catalog.register_query(query_over("b2", "b3"))
+        allocation = Allocation(tiny_catalog)
+        allocation.admitted_queries.add(q1.query_id)
+        allocation.provided[q1.result_stream] = 0
+        scope = compute_scope(tiny_catalog, allocation, [q2])
+        assert scope.replanned_queries == frozenset()
+
+    def test_requested_streams_helper(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        q2 = tiny_catalog.register_query(query_over("b0", "b2"))
+        allocation = Allocation(tiny_catalog)
+        allocation.admitted_queries.add(q1.query_id)
+        allocation.provided[q1.result_stream] = 0
+        scope = compute_scope(tiny_catalog, allocation, [q2])
+        requested = scope.requested_streams(tiny_catalog)
+        assert q2.result_stream in requested
+        assert q1.result_stream in requested

@@ -1,0 +1,179 @@
+"""Tests for the system catalog, cost model and query decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.query import (
+    DecompositionMode,
+    QueryWorkloadItem,
+    canonical_chain,
+    enumerate_splits,
+    enumerate_subsets,
+)
+from repro.exceptions import CatalogError
+from tests.conftest import make_catalog, query_over
+
+
+class TestCostModel:
+    def test_selectivity_in_range_and_deterministic(self):
+        model = LinearCostModel(selectivity_low=0.2, selectivity_high=0.5, seed=3)
+        sel_a = model.selectivity({1, 2})
+        sel_b = model.selectivity({2, 1})
+        assert 0.2 <= sel_a <= 0.5
+        assert sel_a == sel_b
+
+    def test_different_sets_get_different_selectivities(self):
+        model = LinearCostModel(seed=3)
+        assert model.selectivity({1, 2}) != model.selectivity({1, 3})
+
+    def test_output_rate_linear_in_inputs(self):
+        model = LinearCostModel(seed=1)
+        low = model.output_rate([10.0, 10.0], {1, 2})
+        high = model.output_rate([20.0, 20.0], {1, 2})
+        assert high == pytest.approx(2 * low)
+
+    def test_cpu_cost_linear(self):
+        model = LinearCostModel(cpu_per_rate=0.1, cpu_fixed=0.5)
+        assert model.operator_cpu_cost([10.0, 10.0]) == pytest.approx(2.5)
+
+    @given(st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_selectivity_always_in_configured_range(self, base_set):
+        model = LinearCostModel(selectivity_low=0.1, selectivity_high=0.4, seed=9)
+        assert 0.1 <= model.selectivity(base_set) <= 0.4
+
+
+class TestDecompositionHelpers:
+    def test_canonical_chain(self):
+        chain = canonical_chain([5, 1, 3])
+        assert chain == [frozenset({1, 3}), frozenset({1, 3, 5})]
+
+    def test_enumerate_subsets_counts(self):
+        subsets = enumerate_subsets([1, 2, 3])
+        assert len(subsets) == 4  # {12},{13},{23},{123}
+
+    def test_enumerate_splits_no_duplicates(self):
+        splits = enumerate_splits(frozenset({1, 2, 3}))
+        assert len(splits) == 3
+        for left, right in splits:
+            assert left | right == frozenset({1, 2, 3})
+            assert not left & right
+
+    @given(st.sets(st.integers(min_value=0, max_value=10), min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_splits_cover_subset_exactly(self, subset):
+        subset = frozenset(subset)
+        splits = enumerate_splits(subset)
+        assert len(splits) == 2 ** (len(subset) - 1) - 1
+        for left, right in splits:
+            assert left | right == subset
+
+
+class TestQueryWorkloadItem:
+    def test_needs_two_streams(self):
+        with pytest.raises(CatalogError):
+            QueryWorkloadItem(base_names=("b0",))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(CatalogError):
+            QueryWorkloadItem(base_names=("b0", "b0"))
+
+    def test_arity(self):
+        assert query_over("b0", "b1", "b2").arity == 3
+
+
+class TestCatalog:
+    def test_base_stream_placement(self, tiny_catalog):
+        assert tiny_catalog.base_hosts_of(0) == frozenset({0})
+        assert 0 in tiny_catalog.base_streams_at(0)
+
+    def test_base_stream_needs_valid_host(self):
+        catalog = SystemCatalog()
+        with pytest.raises(CatalogError):
+            catalog.add_base_stream("b0", 10.0, host_id=0)
+
+    def test_link_capacity_default_and_override(self, tiny_catalog):
+        assert tiny_catalog.link_capacity(0, 1) == 1000.0
+        assert tiny_catalog.link_capacity(1, 1) == 0.0
+        tiny_catalog.set_link_capacity(0, 1, 10.0)
+        assert tiny_catalog.link_capacity(1, 0) == 10.0
+
+    def test_register_canonical_query(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        # Two composite streams: {b0,b1} and {b0,b1,b2}.
+        composites = [s for s in query.candidate_streams if tiny_catalog.streams.get(s).is_composite]
+        assert len(composites) == 2
+        assert len(query.candidate_operators) == 2
+        assert query.arity == 3
+        result = tiny_catalog.streams.get(query.result_stream)
+        assert result.base_set == query.base_streams
+
+    def test_register_query_shares_prefix_streams(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1", "b2"))
+        q2 = tiny_catalog.register_query(query_over("b0", "b1", "b3"))
+        shared = set(q1.candidate_streams) & set(q2.candidate_streams)
+        shared_composites = [
+            s for s in shared if tiny_catalog.streams.get(s).is_composite
+        ]
+        assert shared_composites, "sorted prefixes must be shared"
+        assert q1.overlaps(q2)
+
+    def test_register_exhaustive_query(self, bushy_catalog):
+        query = bushy_catalog.register_query(query_over("b0", "b1", "b2"))
+        # Subsets of size >= 2: three pairs plus the triple.
+        composites = [
+            s for s in query.candidate_streams if bushy_catalog.streams.get(s).is_composite
+        ]
+        assert len(composites) == 4
+        # Operators: one per pair plus three ways to build the triple.
+        assert len(query.candidate_operators) == 6
+
+    def test_duplicate_query_registration_shares_everything(self, tiny_catalog):
+        q1 = tiny_catalog.register_query(query_over("b0", "b1"))
+        q2 = tiny_catalog.register_query(query_over("b1", "b0"))
+        assert q1.query_id != q2.query_id
+        assert q1.result_stream == q2.result_stream
+        assert q1.candidate_operators == q2.candidate_operators
+
+    def test_query_over_unknown_stream_rejected(self, tiny_catalog):
+        with pytest.raises(CatalogError):
+            tiny_catalog.register_query(query_over("b0", "nope"))
+
+    def test_requested_streams(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        assert query.result_stream in tiny_catalog.requested_streams
+        assert tiny_catalog.queries_for_stream(query.result_stream) == [query]
+
+    def test_aggregates(self, tiny_catalog):
+        assert tiny_catalog.total_cpu_capacity() == pytest.approx(30.0)
+        assert tiny_catalog.total_bandwidth_capacity() == pytest.approx(600.0)
+        assert tiny_catalog.total_link_capacity() == pytest.approx(6 * 1000.0)
+
+    def test_operator_dedup_by_signature(self, tiny_catalog):
+        before = tiny_catalog.num_operators
+        tiny_catalog.register_query(query_over("b0", "b1"))
+        mid = tiny_catalog.num_operators
+        tiny_catalog.register_query(query_over("b0", "b1"))
+        assert tiny_catalog.num_operators == mid
+        assert mid == before + 1
+
+    def test_producers_of(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        producers = tiny_catalog.producers_of(query.result_stream)
+        assert len(producers) == 1
+        assert producers[0].output_stream == query.result_stream
+
+    def test_composite_rate_uses_cost_model(self, tiny_catalog):
+        query = tiny_catalog.register_query(query_over("b0", "b1"))
+        result = tiny_catalog.streams.get(query.result_stream)
+        expected = tiny_catalog.cost_model.output_rate([10.0, 10.0], result.base_set)
+        assert result.rate == pytest.approx(expected)
+
+    def test_summary_mentions_counts(self, tiny_catalog):
+        tiny_catalog.register_query(query_over("b0", "b1"))
+        text = tiny_catalog.summary()
+        assert "hosts" in text and "streams" in text

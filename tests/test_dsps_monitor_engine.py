@@ -1,0 +1,108 @@
+"""Tests for the resource monitor and the simulated cluster engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.engine import ClusterEngine
+from repro.dsps.resource_monitor import ResourceMonitor
+from repro.exceptions import AllocationError
+from tests.conftest import make_catalog, query_over
+
+
+@pytest.fixture
+def deployed():
+    """Catalog + engine with one manually deployed 2-way join."""
+    catalog = make_catalog(num_hosts=3, num_base=3)
+    query = catalog.register_query(query_over("b0", "b1"))
+    operator = catalog.producers_of(query.result_stream)[0]
+    engine = ClusterEngine(catalog)
+    delta = PlacementDelta(
+        add_available={(1, 1), (0, 0), (0, 1), (0, query.result_stream)},
+        add_flows={(1, 0, 1)},
+        add_placements={(0, operator.operator_id)},
+        set_provided={query.result_stream: 0},
+        admit_queries={query.query_id},
+    )
+    engine.deploy(delta)
+    return catalog, query, operator, engine
+
+
+class TestResourceMonitor:
+    def test_default_drift_is_identity(self, deployed):
+        catalog, query, operator, engine = deployed
+        monitor = ResourceMonitor(catalog)
+        assert monitor.drift_of(operator.operator_id) == 1.0
+        assert monitor.observed_operator_cost(operator.operator_id) == pytest.approx(
+            operator.cpu_cost
+        )
+
+    def test_explicit_drift(self, deployed):
+        catalog, query, operator, engine = deployed
+        monitor = ResourceMonitor(catalog)
+        monitor.set_operator_drift(operator.operator_id, 1.5)
+        assert monitor.observed_operator_cost(operator.operator_id) == pytest.approx(
+            1.5 * operator.cpu_cost
+        )
+        assert monitor.drifted_operators(threshold=0.1) == [operator.operator_id]
+        assert monitor.drifted_operators(threshold=0.9) == []
+
+    def test_randomised_drift_within_spread(self, deployed):
+        catalog, _, _, _ = deployed
+        monitor = ResourceMonitor(catalog, random_state=1)
+        monitor.randomise_drift(spread=0.2)
+        for operator in catalog.operators:
+            assert 0.8 <= monitor.drift_of(operator.operator_id) <= 1.2
+
+    def test_sampling_matches_allocation(self, deployed):
+        catalog, query, operator, engine = deployed
+        monitor = ResourceMonitor(catalog)
+        sample = monitor.sample_host(engine.allocation, 0)
+        assert sample.cpu_used == pytest.approx(operator.cpu_cost)
+        assert sample.network_usage == pytest.approx(
+            engine.allocation.network_usage(0)
+        )
+        assert 0.0 < sample.cpu_utilisation < 1.0
+
+    def test_overloaded_hosts_with_drift(self, deployed):
+        catalog, query, operator, engine = deployed
+        monitor = ResourceMonitor(catalog)
+        assert monitor.overloaded_hosts(engine.allocation) == []
+        monitor.set_operator_drift(operator.operator_id, 100.0)
+        assert monitor.overloaded_hosts(engine.allocation) == [0]
+
+
+class TestClusterEngine:
+    def test_deploy_updates_allocation(self, deployed):
+        catalog, query, operator, engine = deployed
+        assert engine.allocation.has_placement(0, operator.operator_id)
+        assert engine.num_deployments == 1
+
+    def test_strict_engine_rejects_infeasible_delta(self, deployed):
+        catalog, query, operator, engine = deployed
+        bad = PlacementDelta(add_available={(2, query.result_stream)})  # no source
+        with pytest.raises(AllocationError):
+            engine.deploy(bad)
+        # The failed deployment must not have been applied.
+        assert not engine.allocation.is_available(2, query.result_stream)
+
+    def test_non_strict_engine_accepts_anything(self):
+        catalog = make_catalog()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.deploy(PlacementDelta(add_available={(0, 1)}))
+        assert engine.allocation.is_available(0, 1)
+
+    def test_report_contents(self, deployed):
+        catalog, query, operator, engine = deployed
+        report = engine.report()
+        assert report.num_admitted_queries == 1
+        assert len(report.cpu_utilisation) == catalog.num_hosts
+        assert report.is_consistent
+        assert report.max_cpu_utilisation >= report.mean_cpu_utilisation
+
+    def test_reset(self, deployed):
+        catalog, query, operator, engine = deployed
+        engine.reset()
+        assert engine.report().num_admitted_queries == 0
+        assert engine.num_deployments == 0

@@ -1,0 +1,133 @@
+"""Tests for streams, operators, hosts and the network topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsps.hosts import Host, HostSet
+from repro.dsps.network import NetworkTopology
+from repro.dsps.operators import Operator, OperatorKind, make_join_operator
+from repro.dsps.stream import StreamKind, StreamRegistry
+from repro.exceptions import CatalogError
+
+
+class TestStreamRegistry:
+    def test_base_stream_registration(self):
+        registry = StreamRegistry()
+        stream = registry.add_base_stream("b0", 10.0)
+        assert stream.is_base
+        assert stream.base_set == frozenset({stream.stream_id})
+        assert registry.get(stream.stream_id) is stream
+        assert registry.get_by_name("b0") is stream
+
+    def test_duplicate_base_name_rejected(self):
+        registry = StreamRegistry()
+        registry.add_base_stream("b0", 10.0)
+        with pytest.raises(CatalogError):
+            registry.add_base_stream("b0", 5.0)
+
+    def test_composite_stream_equivalence(self):
+        registry = StreamRegistry()
+        a = registry.add_base_stream("a", 10.0)
+        b = registry.add_base_stream("b", 10.0)
+        first = registry.add_composite_stream("join", {a.stream_id, b.stream_id}, 4.0)
+        second = registry.add_composite_stream("join", {b.stream_id, a.stream_id}, 4.0)
+        assert first is second
+        assert len(registry.composite_streams) == 1
+
+    def test_composite_requires_known_base(self):
+        registry = StreamRegistry()
+        registry.add_base_stream("a", 10.0)
+        with pytest.raises(CatalogError):
+            registry.add_composite_stream("join", {99}, 4.0)
+
+    def test_find_equivalent(self):
+        registry = StreamRegistry()
+        a = registry.add_base_stream("a", 10.0)
+        b = registry.add_base_stream("b", 10.0)
+        assert registry.find_equivalent("join", {a.stream_id, b.stream_id}) is None
+        stream = registry.add_composite_stream("join", {a.stream_id, b.stream_id}, 4.0)
+        assert registry.find_equivalent("join", {b.stream_id, a.stream_id}) is stream
+
+    def test_negative_rate_rejected(self):
+        registry = StreamRegistry()
+        with pytest.raises(ValueError):
+            registry.add_base_stream("a", -1.0)
+
+    def test_iteration_and_len(self):
+        registry = StreamRegistry()
+        registry.add_base_stream("a", 1.0)
+        registry.add_base_stream("b", 1.0)
+        assert len(registry) == 2
+        assert [s.name for s in registry] == ["a", "b"]
+
+
+class TestOperators:
+    def test_join_operator_construction(self):
+        op = make_join_operator(0, [1, 2], 3, 0.5)
+        assert op.kind is OperatorKind.JOIN
+        assert op.arity == 2
+        assert not op.is_relay
+
+    def test_join_needs_two_inputs(self):
+        with pytest.raises(CatalogError):
+            make_join_operator(0, [1], 3, 0.5)
+
+    def test_output_must_differ_from_inputs(self):
+        with pytest.raises(CatalogError):
+            Operator(0, "bad", OperatorKind.JOIN, frozenset({1, 2}), 2, 0.5)
+
+    def test_signature_identity(self):
+        a = make_join_operator(0, [1, 2], 3, 0.5)
+        b = make_join_operator(7, [2, 1], 3, 0.9)
+        assert a.signature() == b.signature()
+
+
+class TestHostsAndNetwork:
+    def test_host_set_registration(self):
+        hosts = HostSet()
+        h = hosts.add("h0", 4.0, 100.0)
+        assert isinstance(h, Host)
+        assert hosts.get(0) is h
+        assert hosts.get_by_name("h0") is h
+        assert hosts.ids == [0]
+
+    def test_duplicate_host_name_rejected(self):
+        hosts = HostSet()
+        hosts.add("h0", 4.0, 100.0)
+        with pytest.raises(CatalogError):
+            hosts.add("h0", 4.0, 100.0)
+
+    def test_host_capacities_validated(self):
+        with pytest.raises(ValueError):
+            Host(0, "h", cpu_capacity=0.0, bandwidth_capacity=10.0)
+
+    def test_topology_defaults_and_overrides(self):
+        topo = NetworkTopology(3, 100.0)
+        assert topo.capacity(0, 1) == 100.0
+        assert topo.capacity(1, 1) == 0.0
+        topo.set_capacity(0, 1, 10.0)
+        assert topo.capacity(0, 1) == 10.0
+        assert topo.capacity(1, 0) == 10.0
+
+    def test_topology_asymmetric_override(self):
+        topo = NetworkTopology(2, 100.0)
+        topo.set_capacity(0, 1, 10.0, symmetric=False)
+        assert topo.capacity(0, 1) == 10.0
+        assert topo.capacity(1, 0) == 100.0
+
+    def test_topology_scaling(self):
+        topo = NetworkTopology(2, 100.0)
+        topo.set_capacity(0, 1, 10.0)
+        scaled = topo.scaled(10.0)
+        assert scaled.capacity(0, 1) == 100.0
+        assert scaled.default_capacity == 1000.0
+
+    def test_topology_rejects_unknown_hosts(self):
+        topo = NetworkTopology(2, 100.0)
+        with pytest.raises(CatalogError):
+            topo.capacity(0, 5)
+
+    def test_pairs_enumeration(self):
+        topo = NetworkTopology(3, 1.0)
+        assert len(list(topo.pairs())) == 6

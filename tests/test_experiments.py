@@ -1,0 +1,136 @@
+"""Tests for the experiment runner, metrics and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.heuristic import HeuristicPlanner
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.exceptions import PlanningError
+from repro.experiments.metrics import (
+    cdf,
+    mean,
+    optimality_gap,
+    percentile,
+    saturation_point,
+    series_is_non_decreasing,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import run_admission_experiment
+from repro.workloads.scenarios import SimulationScenarioConfig, build_simulation_scenario
+from repro.dsps.query import DecompositionMode
+from tests.conftest import make_catalog, query_over
+
+
+def small_workload(num=6):
+    scenario = build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=3,
+            num_base_streams=8,
+            host_cpu_capacity=6.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=2,
+        )
+    )
+    return scenario, scenario.workload(num, arities=(2, 3))
+
+
+class TestRunner:
+    def test_curve_shape(self):
+        scenario, workload = small_workload()
+        planner = SQPRPlanner(
+            scenario.build_catalog(), config=PlannerConfig(time_limit=2.0)
+        )
+        curve = run_admission_experiment(planner, workload, checkpoint_every=2)
+        assert curve.total_submitted == len(workload)
+        assert curve.total_satisfied <= curve.total_submitted
+        assert curve.submitted[-1] == len(workload)
+        assert series_is_non_decreasing(curve.satisfied)
+        assert len(curve.planning_times) == len(workload)
+        assert 0.0 <= curve.admission_fraction <= 1.0
+
+    def test_group_submission(self):
+        scenario, workload = small_workload(6)
+        planner = SQPRPlanner(
+            scenario.build_catalog(), config=PlannerConfig(time_limit=1.0)
+        )
+        curve = run_admission_experiment(
+            planner, workload, checkpoint_every=2, group_size=3
+        )
+        assert curve.total_submitted == 6
+
+    def test_works_with_all_planner_types(self):
+        scenario, workload = small_workload(5)
+        for planner in (
+            HeuristicPlanner(scenario.build_catalog()),
+            OptimisticBoundPlanner(scenario.build_catalog()),
+        ):
+            curve = run_admission_experiment(planner, workload, checkpoint_every=2)
+            assert curve.total_submitted == 5
+            assert curve.total_satisfied >= 1
+
+    def test_invalid_arguments(self):
+        scenario, workload = small_workload(2)
+        planner = HeuristicPlanner(scenario.build_catalog())
+        with pytest.raises(PlanningError):
+            run_admission_experiment(planner, workload, group_size=0)
+        with pytest.raises(PlanningError):
+            run_admission_experiment(object(), workload)
+
+    def test_planning_time_at_utilisation(self):
+        scenario, workload = small_workload(6)
+        planner = HeuristicPlanner(scenario.build_catalog())
+        curve = run_admission_experiment(planner, workload, checkpoint_every=1)
+        assert curve.planning_time_at_utilisation() >= 0.0
+        assert curve.average_planning_time() >= 0.0
+
+
+class TestMetrics:
+    def test_cdf(self):
+        values, fractions = cdf([3.0, 1.0, 2.0])
+        assert values == [1.0, 2.0, 3.0]
+        assert fractions == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        assert cdf([]) == ([], [])
+
+    def test_saturation_point(self):
+        assert saturation_point([10, 20, 30, 40], [10, 18, 20, 20]) == 30
+        assert saturation_point([10, 20], [10, 20]) == 20
+        assert saturation_point([], []) == 0
+
+    def test_optimality_gap(self):
+        assert optimality_gap(75, 100) == pytest.approx(0.25)
+        assert optimality_gap(120, 100) == 0.0
+        assert optimality_gap(10, 0) == 0.0
+
+    def test_series_monotonicity(self):
+        assert series_is_non_decreasing([1, 2, 2, 3])
+        assert not series_is_non_decreasing([1, 2, 1])
+        assert series_is_non_decreasing([1.0, 0.95], tolerance=0.1)
+
+    def test_mean_and_percentile(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([], 50) == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["sqpr", 1.23456], ["heuristic", 2]], title="demo"
+        )
+        assert "demo" in text
+        assert "sqpr" in text
+        assert "1.235" in text
+        assert "heuristic" in text
+
+    def test_format_series_handles_unequal_lengths(self):
+        text = format_series({"a": [1, 2, 3], "b": [4]}, title="series")
+        assert "series" in text
+        assert text.count("\n") >= 4
+
+    def test_format_series_empty(self):
+        assert format_series({}, title="empty") == "empty"

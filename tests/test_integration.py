@@ -1,0 +1,129 @@
+"""End-to-end integration tests spanning planner, engine and experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.heuristic import HeuristicPlanner
+from repro.baselines.soda.planner import SodaPlanner
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.dsps.engine import ClusterEngine
+from repro.dsps.plan import extract_plan
+from repro.experiments.runner import run_admission_experiment
+from repro.experiments import figures
+from repro.workloads.scenarios import (
+    ClusterScenarioConfig,
+    SimulationScenarioConfig,
+    build_cluster_scenario,
+    build_simulation_scenario,
+)
+from repro.dsps.query import DecompositionMode
+
+
+@pytest.fixture(scope="module")
+def mini_scenario():
+    """A miniature simulation scenario shared by the integration tests."""
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=4,
+            num_base_streams=10,
+            host_cpu_capacity=5.0,
+            host_bandwidth=200.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=5,
+        )
+    )
+
+
+class TestEndToEndAdmission:
+    def test_sqpr_run_produces_valid_plans(self, mini_scenario):
+        catalog = mini_scenario.build_catalog()
+        planner = SQPRPlanner(
+            catalog, config=PlannerConfig(time_limit=2.0, validate_after_apply=True)
+        )
+        workload = mini_scenario.workload(12, arities=(2, 3))
+        curve = run_admission_experiment(planner, workload, checkpoint_every=4)
+        assert curve.total_satisfied >= 4
+        assert planner.allocation.validate() == []
+        # Every admitted query must have an extractable, structurally valid plan.
+        for query_id in planner.allocation.admitted_queries:
+            query = catalog.get_query(query_id)
+            plan = extract_plan(catalog, planner.allocation, query.result_stream)
+            assert plan.is_valid(catalog)
+
+    def test_all_planners_agree_on_easy_workload(self, mini_scenario):
+        """With abundant resources every planner admits every query."""
+        workload = mini_scenario.workload(6, arities=(2,))
+        results = {}
+        results["sqpr"] = run_admission_experiment(
+            SQPRPlanner(mini_scenario.build_catalog(), config=PlannerConfig(time_limit=2.0)),
+            workload,
+        ).total_satisfied
+        results["heuristic"] = run_admission_experiment(
+            HeuristicPlanner(mini_scenario.build_catalog()), workload
+        ).total_satisfied
+        results["soda"] = run_admission_experiment(
+            SodaPlanner(mini_scenario.build_catalog()), workload
+        ).total_satisfied
+        results["bound"] = run_admission_experiment(
+            OptimisticBoundPlanner(mini_scenario.build_catalog()), workload
+        ).total_satisfied
+        assert results["sqpr"] == results["heuristic"] == results["soda"] == len(workload)
+        assert results["bound"] == len(workload)
+
+    def test_engine_deployment_of_planner_output(self, mini_scenario):
+        """The cluster engine accepts exactly what the planner decided."""
+        catalog = mini_scenario.build_catalog()
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        engine = ClusterEngine(catalog, strict=False)
+        for item in mini_scenario.workload(8, arities=(2, 3)):
+            planner.submit(item)
+        engine.allocation = planner.allocation.copy()
+        report = engine.report()
+        assert report.is_consistent
+        assert report.num_admitted_queries == planner.num_admitted
+        assert max(report.cpu_utilisation) <= 1.0 + 1e-6
+
+
+class TestClusterComparison:
+    def test_sqpr_and_soda_on_cluster_scenario(self):
+        scenario = build_cluster_scenario(
+            ClusterScenarioConfig(num_hosts=4, num_base_streams=20, seed=2)
+        )
+        workload = scenario.workload(10, arities=(2, 3))
+        sqpr = SQPRPlanner(
+            scenario.build_catalog(), config=PlannerConfig(time_limit=2.0)
+        )
+        soda = SodaPlanner(scenario.build_catalog())
+        sqpr_curve = run_admission_experiment(sqpr, workload)
+        soda_curve = run_admission_experiment(soda, workload, group_size=5)
+        assert sqpr.allocation.validate() == []
+        assert soda.allocation.validate() == []
+        # In an uncontended cluster both planners admit nearly everything.
+        assert sqpr_curve.total_satisfied >= soda_curve.total_satisfied - 1
+
+
+class TestFigureSmoke:
+    """Tiny-scale smoke runs of the figure drivers (full runs live in benchmarks/)."""
+
+    def test_fig4a_smoke(self, mini_scenario):
+        result = figures.fig4a_planning_efficiency(
+            scenario=mini_scenario,
+            num_queries=6,
+            timeouts=(0.5,),
+            checkpoint_every=3,
+            arities=(2,),
+        )
+        assert "submitted" in result.series
+        assert "heuristic" in result.series
+        assert "optimistic_bound" in result.series
+        assert any(key.startswith("sqpr_timeout") for key in result.series)
+        assert "Fig 4(a)" in result.to_text()
+
+    def test_fig6b_smoke(self):
+        result = figures.fig6b_planning_time_vs_arity(
+            arities=(2,), num_queries=3, time_limit=0.5
+        )
+        assert len(result.series["avg_planning_time_s"]) == 1
+        assert result.series["avg_planning_time_s"][0] >= 0.0

@@ -1,0 +1,160 @@
+"""Tests for the MILP modelling layer: variables, expressions, constraints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.milp.constraint import Constraint, ConstraintSense
+from repro.milp.expression import LinExpr, Variable, VarType, lin_sum
+
+
+def make_vars(n: int = 3):
+    return [Variable(f"x{i}", VarType.CONTINUOUS) for i in range(n)]
+
+
+class TestVariable:
+    def test_binary_bounds_are_clamped(self):
+        var = Variable("b", VarType.BINARY, lower=-5, upper=9)
+        assert var.lower == 0.0
+        assert var.upper == 1.0
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", VarType.CONTINUOUS, lower=2.0, upper=1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("", VarType.CONTINUOUS)
+
+    def test_is_integer(self):
+        assert Variable("i", VarType.INTEGER).is_integer
+        assert Variable("b", VarType.BINARY).is_integer
+        assert not Variable("c", VarType.CONTINUOUS).is_integer
+
+    def test_variables_hash_by_identity(self):
+        a = Variable("same", VarType.BINARY)
+        b = Variable("same", VarType.BINARY)
+        mapping = {a: 1.0, b: 2.0}
+        assert len(mapping) == 2
+
+
+class TestLinExprArithmetic:
+    def test_addition_merges_terms(self):
+        x, y, _ = make_vars()
+        expr = x + y + x
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 1.0
+
+    def test_subtraction_and_constants(self):
+        x, y, _ = make_vars()
+        expr = 2 * x - y + 5
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == 5.0
+
+    def test_rsub(self):
+        (x,) = make_vars(1)
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -1.0
+
+    def test_scalar_multiplication(self):
+        x, y, _ = make_vars()
+        expr = (x + 2 * y + 1) * 3
+        assert expr.coefficient(x) == 3.0
+        assert expr.coefficient(y) == 6.0
+        assert expr.constant == 3.0
+
+    def test_multiplying_by_expression_fails(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            _ = x.to_expr() * y.to_expr()  # type: ignore[arg-type]
+
+    def test_zero_coefficients_dropped(self):
+        x, y, _ = make_vars()
+        expr = x + y - x
+        assert x not in expr.terms
+        assert expr.coefficient(y) == 1.0
+
+    def test_value_evaluation(self):
+        x, y, _ = make_vars()
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 1.0, y: 2.0}) == pytest.approx(9.0)
+
+    def test_value_missing_vars_default_to_zero(self):
+        x, y, _ = make_vars()
+        expr = 2 * x + 3 * y
+        assert expr.value({x: 1.0}) == pytest.approx(2.0)
+
+    def test_lin_sum_matches_manual_addition(self):
+        x, y, z = make_vars()
+        total = lin_sum([x, 2 * y, z, 4])
+        manual = x + 2 * y + z + 4
+        assert total.terms == manual.terms
+        assert total.constant == manual.constant
+
+    def test_lin_sum_rejects_bad_items(self):
+        with pytest.raises(ModelError):
+            lin_sum(["oops"])  # type: ignore[list-item]
+
+    @given(
+        coeffs=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=6
+        ),
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=6, max_size=6
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_evaluation_is_linear(self, coeffs, values):
+        """sum(c_i * v_i) evaluated through LinExpr equals the numpy dot product."""
+        variables = make_vars(len(coeffs))
+        expr = lin_sum(c * v for c, v in zip(coeffs, variables))
+        assignment = {v: values[i] for i, v in enumerate(variables)}
+        expected = sum(c * values[i] for i, c in enumerate(coeffs))
+        assert expr.value(assignment) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestConstraints:
+    def test_le_constraint_from_comparison(self):
+        x, y, _ = make_vars()
+        constraint = x + y <= 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is ConstraintSense.LE
+        assert constraint.rhs == pytest.approx(5.0)
+
+    def test_ge_constraint_from_comparison(self):
+        x, _, _ = make_vars()
+        constraint = x >= 2
+        assert constraint.sense is ConstraintSense.GE
+        assert constraint.rhs == pytest.approx(2.0)
+
+    def test_eq_constraint_from_comparison(self):
+        x, y, _ = make_vars()
+        constraint = x + y == 1
+        assert constraint.sense is ConstraintSense.EQ
+
+    def test_violation_le(self):
+        x, _, _ = make_vars()
+        constraint = x <= 1
+        assert constraint.violation({x: 0.5}) == 0.0
+        assert constraint.violation({x: 2.0}) > 0.0
+
+    def test_violation_ge(self):
+        x, _, _ = make_vars()
+        constraint = x >= 1
+        assert constraint.violation({x: 2.0}) == 0.0
+        assert constraint.violation({x: 0.0}) > 0.0
+
+    def test_violation_eq(self):
+        x, _, _ = make_vars()
+        constraint = x == 1
+        assert constraint.is_satisfied({x: 1.0})
+        assert not constraint.is_satisfied({x: 0.0})
+
+    def test_named_helper(self):
+        x, _, _ = make_vars()
+        constraint = (x <= 1).named("cap")
+        assert constraint.name == "cap"

@@ -1,0 +1,81 @@
+"""Additional coverage: solve results, planning outcomes and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import PlanningOutcome
+from repro.dsps.query import Query
+from repro.milp.expression import Variable, VarType
+from repro.milp.result import SolveResult, SolveStatus
+
+
+def make_query() -> Query:
+    return Query(
+        query_id=7,
+        result_stream=5,
+        base_streams=frozenset({1, 2}),
+        candidate_streams=frozenset({1, 2, 5}),
+        candidate_operators=frozenset({0}),
+    )
+
+
+class TestSolveResult:
+    def test_has_solution_requires_values(self):
+        empty = SolveResult(SolveStatus.OPTIMAL)
+        assert not empty.has_solution
+        var = Variable("x", VarType.BINARY)
+        full = SolveResult(SolveStatus.FEASIBLE, objective=1.0, values={var: 1.0})
+        assert full.has_solution
+
+    def test_value_lookup_defaults(self):
+        var = Variable("x", VarType.BINARY)
+        other = Variable("y", VarType.BINARY)
+        result = SolveResult(SolveStatus.OPTIMAL, objective=1.0, values={var: 1.0})
+        assert result.value(var) == 1.0
+        assert result.value(other) == 0.0
+        assert result.value_by_name("x") == 1.0
+        assert result.value_by_name("missing", default=-1.0) == -1.0
+
+    def test_gap_computation(self):
+        result = SolveResult(SolveStatus.FEASIBLE, objective=100.0, bound=110.0)
+        assert result.gap() == pytest.approx(0.1)
+        assert SolveResult(SolveStatus.FEASIBLE, objective=100.0).gap() is None
+
+    def test_infeasible_statuses_are_not_usable(self):
+        for status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED, SolveStatus.TIMEOUT):
+            assert not SolveResult(status).has_solution
+
+
+class TestQueryAndOutcomeHelpers:
+    def test_query_overlap(self):
+        a = make_query()
+        b = Query(
+            query_id=8,
+            result_stream=6,
+            base_streams=frozenset({2, 3}),
+            candidate_streams=frozenset({2, 3, 6}),
+            candidate_operators=frozenset({1}),
+        )
+        c = Query(
+            query_id=9,
+            result_stream=7,
+            base_streams=frozenset({3, 4}),
+            candidate_streams=frozenset({3, 4, 7}),
+            candidate_operators=frozenset({2}),
+        )
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_query_repr_and_arity(self):
+        query = make_query()
+        assert query.arity == 2
+        assert "Query(7" in repr(query)
+
+    def test_planning_outcome_repr(self):
+        outcome = PlanningOutcome(query=make_query(), admitted=True, planning_time=0.25)
+        text = repr(outcome)
+        assert "admitted" in text
+        assert "250.0 ms" in text
+        rejected = PlanningOutcome(query=make_query(), admitted=False)
+        assert "rejected" in repr(rejected)

@@ -1,0 +1,89 @@
+"""Property-based tests on the planner's core invariants.
+
+These use hypothesis to generate random (small) workloads and check the
+invariants the paper's model guarantees by construction:
+
+* the live allocation always satisfies every constraint group (III.4–III.7),
+* admitted queries stay admitted when later queries arrive (IV.9),
+* every admitted query has a structurally valid plan (C1–C4), and
+* the optimistic bound never admits fewer queries than it did before a new
+  submission (monotonicity of the admission curve).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.optimistic import OptimisticBoundPlanner
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.dsps.plan import extract_plan
+from repro.dsps.query import QueryWorkloadItem
+from repro.baselines.heuristic import HeuristicPlanner
+from tests.conftest import make_catalog
+
+BASE_NAMES = ["b0", "b1", "b2", "b3", "b4"]
+
+
+def workload_strategy(max_queries: int = 6):
+    query = st.sets(st.sampled_from(BASE_NAMES), min_size=2, max_size=3).map(
+        lambda names: QueryWorkloadItem(base_names=tuple(sorted(names)))
+    )
+    return st.lists(query, min_size=1, max_size=max_queries)
+
+
+common_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPlannerInvariants:
+    @given(workload=workload_strategy())
+    @common_settings
+    def test_allocation_always_feasible_and_admissions_monotone(self, workload):
+        catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=5)
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        admitted_so_far = set()
+        for item in workload:
+            planner.submit(item)
+            # Invariant: no constraint of the model is ever violated.
+            assert planner.allocation.validate() == []
+            # Invariant (IV.9): previously admitted queries are never dropped.
+            assert admitted_so_far <= planner.allocation.admitted_queries
+            admitted_so_far = set(planner.allocation.admitted_queries)
+
+    @given(workload=workload_strategy())
+    @common_settings
+    def test_admitted_queries_have_valid_plans(self, workload):
+        catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=5)
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        for item in workload:
+            planner.submit(item)
+        for query_id in planner.allocation.admitted_queries:
+            query = catalog.get_query(query_id)
+            plan = extract_plan(catalog, planner.allocation, query.result_stream)
+            assert plan.is_valid(catalog)
+            assert plan.query_stream == query.result_stream
+
+    @given(workload=workload_strategy())
+    @common_settings
+    def test_heuristic_allocation_always_feasible(self, workload):
+        catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=5)
+        planner = HeuristicPlanner(catalog)
+        for item in workload:
+            planner.submit(item)
+            assert planner.allocation.validate() == []
+
+    @given(workload=workload_strategy(max_queries=8))
+    @common_settings
+    def test_optimistic_bound_cpu_never_exceeds_capacity(self, workload):
+        catalog = make_catalog(num_hosts=2, cpu=2.0, num_base=5)
+        bound = OptimisticBoundPlanner(catalog)
+        previous = 0
+        for item in workload:
+            bound.submit(item)
+            assert bound.cpu_used <= bound.cpu_capacity + 1e-9
+            assert bound.num_admitted >= previous
+            previous = bound.num_admitted

@@ -1,0 +1,99 @@
+"""Tests for the shared utilities (rng, timers, validation)."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_spawn_rng_is_deterministic_given_parent_state(self):
+        child_a = spawn_rng(ensure_rng(7), "component")
+        child_b = spawn_rng(ensure_rng(7), "component")
+        assert np.allclose(child_a.random(4), child_b.random(4))
+
+
+class TestTimers:
+    def test_stopwatch_monotonic(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert second >= first >= 0.0
+
+    def test_stopwatch_restart(self):
+        watch = Stopwatch()
+        time.sleep(0.01)
+        watch.restart()
+        assert watch.elapsed() < 0.01
+
+    def test_deadline_unlimited(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == math.inf
+        assert not deadline.expired()
+
+    def test_deadline_expires(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_deadline_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestValidation:
+    def test_check_positive_accepts_positive(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("v", 5, 0, 10) == 5.0
+        with pytest.raises(ValueError):
+            check_in_range("v", 11, 0, 10)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", float("nan"))

@@ -1,0 +1,169 @@
+"""Tests for the Zipf sampler, workload generator and scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import (
+    ClusterScenarioConfig,
+    SimulationScenarioConfig,
+    build_cluster_scenario,
+    build_simulation_scenario,
+)
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(10, 1.0, random_state=0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0, random_state=0)
+        assert np.allclose(sampler.probabilities, 0.25)
+
+    def test_higher_exponent_is_more_skewed(self):
+        flat = ZipfSampler(100, 0.5, random_state=0).probabilities[0]
+        skewed = ZipfSampler(100, 2.0, random_state=0).probabilities[0]
+        assert skewed > flat
+
+    def test_samples_within_range(self):
+        sampler = ZipfSampler(7, 1.0, random_state=1)
+        samples = sampler.sample_many(500)
+        assert min(samples) >= 0
+        assert max(samples) < 7
+
+    def test_sample_distinct(self):
+        sampler = ZipfSampler(5, 1.0, random_state=1)
+        distinct = sampler.sample_distinct(5)
+        assert sorted(distinct) == [0, 1, 2, 3, 4]
+
+    def test_sample_distinct_too_many_rejected(self):
+        sampler = ZipfSampler(3, 1.0, random_state=1)
+        with pytest.raises(WorkloadError):
+            sampler.sample_distinct(4)
+
+    def test_determinism(self):
+        a = ZipfSampler(50, 1.0, random_state=3).sample_many(20)
+        b = ZipfSampler(50, 1.0, random_state=3).sample_many(20)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0)
+
+    @given(exponent=st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_rank_zero_is_most_likely(self, exponent):
+        sampler = ZipfSampler(20, exponent, random_state=0)
+        probabilities = sampler.probabilities
+        assert probabilities[0] == pytest.approx(max(probabilities))
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_number(self):
+        spec = WorkloadSpec(num_queries=30, arities=(2, 3, 4), zipf_exponent=1.0)
+        generator = WorkloadGenerator([f"b{i}" for i in range(20)], spec, random_state=0)
+        items = generator.generate()
+        assert len(items) == 30
+
+    def test_equal_arity_mix(self):
+        spec = WorkloadSpec(num_queries=30, arities=(2, 3, 4), zipf_exponent=1.0)
+        generator = WorkloadGenerator([f"b{i}" for i in range(20)], spec, random_state=0)
+        arities = [item.arity for item in generator.generate()]
+        assert arities.count(2) == arities.count(3) == arities.count(4) == 10
+
+    def test_base_streams_are_distinct_within_query(self):
+        spec = WorkloadSpec(num_queries=50, arities=(4,), zipf_exponent=2.0)
+        generator = WorkloadGenerator([f"b{i}" for i in range(10)], spec, random_state=0)
+        for item in generator.generate():
+            assert len(set(item.base_names)) == item.arity
+
+    def test_determinism_given_seed(self):
+        spec = WorkloadSpec(num_queries=10, arities=(2, 3), zipf_exponent=1.0)
+        names = [f"b{i}" for i in range(15)]
+        a = WorkloadGenerator(names, spec, random_state=5).generate()
+        b = WorkloadGenerator(names, spec, random_state=5).generate()
+        assert [i.base_names for i in a] == [i.base_names for i in b]
+
+    def test_zipf_skew_increases_overlap(self):
+        names = [f"b{i}" for i in range(50)]
+        spec_flat = WorkloadSpec(num_queries=60, arities=(2,), zipf_exponent=0.0)
+        spec_skew = WorkloadSpec(num_queries=60, arities=(2,), zipf_exponent=2.0)
+        flat = WorkloadGenerator(names, spec_flat, random_state=1).generate()
+        skew = WorkloadGenerator(names, spec_skew, random_state=1).generate()
+        distinct_flat = len({item.base_names for item in flat})
+        distinct_skew = len({item.base_names for item in skew})
+        assert distinct_skew < distinct_flat
+
+    def test_batches(self):
+        spec = WorkloadSpec(num_queries=10, arities=(2,), zipf_exponent=0.0)
+        generator = WorkloadGenerator([f"b{i}" for i in range(10)], spec, random_state=0)
+        batches = generator.generate_batches(3)
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(num_queries=-1)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(num_queries=1, arities=(1,))
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator([], WorkloadSpec(num_queries=1), random_state=0)
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(
+                ["b0"], WorkloadSpec(num_queries=1, arities=(2,)), random_state=0
+            )
+
+
+class TestScenarios:
+    def test_simulation_catalog_structure(self):
+        scenario = build_simulation_scenario(
+            SimulationScenarioConfig(num_hosts=5, num_base_streams=20)
+        )
+        catalog = scenario.build_catalog()
+        assert catalog.num_hosts == 5
+        assert len(catalog.streams.base_streams) == 20
+        # Base streams are spread over all hosts (round-robin).
+        hosts_used = {min(catalog.base_hosts_of(s.stream_id)) for s in catalog.streams.base_streams}
+        assert hosts_used == set(range(5))
+
+    def test_cluster_scenario_defaults(self):
+        scenario = build_cluster_scenario(ClusterScenarioConfig(num_hosts=4, num_base_streams=16))
+        catalog = scenario.build_catalog()
+        assert catalog.num_hosts == 4
+        assert catalog.hosts.get(0).bandwidth_capacity == pytest.approx(10.0)
+
+    def test_build_catalog_is_reproducible(self):
+        scenario = build_simulation_scenario(
+            SimulationScenarioConfig(num_hosts=4, num_base_streams=12)
+        )
+        a = scenario.build_catalog()
+        b = scenario.build_catalog()
+        for stream in a.streams.base_streams:
+            assert a.base_hosts_of(stream.stream_id) == b.base_hosts_of(stream.stream_id)
+
+    def test_workload_is_reproducible(self):
+        scenario = build_simulation_scenario(
+            SimulationScenarioConfig(num_hosts=4, num_base_streams=12)
+        )
+        assert [i.base_names for i in scenario.workload(8)] == [
+            i.base_names for i in scenario.workload(8)
+        ]
+
+    def test_scaling_helpers(self):
+        scenario = build_simulation_scenario(
+            SimulationScenarioConfig(num_hosts=4, num_base_streams=12)
+        )
+        more_hosts = scenario.with_hosts(9)
+        assert more_hosts.build_catalog().num_hosts == 9
+        richer = scenario.with_resources(cpu_factor=2.0, bandwidth_factor=10.0)
+        assert richer.host_cpu_capacity == pytest.approx(2 * scenario.host_cpu_capacity)
+        assert richer.link_capacity == pytest.approx(10 * scenario.link_capacity)
+        wider = scenario.with_base_streams(30)
+        assert len(wider.build_catalog().streams.base_streams) == 30
