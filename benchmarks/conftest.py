@@ -12,6 +12,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import get_planner_class
+
+# The planner names the benchmarks drive, tied to the planner registry: the
+# figure drivers key their series by the names as passed, so these constants
+# are the single place connecting benchmark assertions to registry names.
+# ``get_planner_class`` raises early (at collection) if a name disappears
+# from the registry instead of failing deep inside an 8-minute run.
+SQPR = "sqpr"
+HEURISTIC = "heuristic"
+SODA = "soda"
+BOUND = "optimistic_bound"  # registered alias of "optimistic"
+for _name in (SQPR, HEURISTIC, SODA, BOUND):
+    get_planner_class(_name)
+
 
 def run_figure(benchmark, figure_fn, *args, **kwargs):
     """Run ``figure_fn`` once under pytest-benchmark and print its series."""

@@ -17,17 +17,23 @@ import pytest
 from repro.experiments import figures
 from repro.experiments.metrics import series_is_non_decreasing
 
-from benchmarks.conftest import run_figure
+from benchmarks.conftest import BOUND, HEURISTIC, SQPR, run_figure
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4a_planning_efficiency(benchmark):
-    result = run_figure(benchmark, figures.fig4a_planning_efficiency)
+    result = run_figure(
+        benchmark,
+        figures.fig4a_planning_efficiency,
+        baselines=(HEURISTIC, BOUND),
+    )
     sqpr_curves = {
-        key: series for key, series in result.series.items() if key.startswith("sqpr_timeout")
+        key: series
+        for key, series in result.series.items()
+        if key.startswith(f"{SQPR}_timeout")
     }
-    bound = result.series["optimistic_bound"]
-    heuristic = result.series["heuristic"]
+    bound = result.series[BOUND]
+    heuristic = result.series[HEURISTIC]
 
     # Admission curves are cumulative and therefore non-decreasing.
     for series in list(sqpr_curves.values()) + [bound, heuristic]:
@@ -49,7 +55,7 @@ def test_fig4a_planning_efficiency(benchmark):
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4b_batching(benchmark):
-    result = run_figure(benchmark, figures.fig4b_batching)
+    result = run_figure(benchmark, figures.fig4b_batching, planner_name=SQPR)
     totals = {
         key: series[-1]
         for key, series in result.series.items()
@@ -65,7 +71,7 @@ def test_fig4b_batching(benchmark):
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4c_overlap(benchmark):
-    result = run_figure(benchmark, figures.fig4c_overlap)
+    result = run_figure(benchmark, figures.fig4c_overlap, planner_name=SQPR)
     zipf = result.series["zipf_factor"]
     assert zipf[0] == 0.0 and zipf[-1] == max(zipf)
     for key, series in result.series.items():

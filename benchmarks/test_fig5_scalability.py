@@ -12,14 +12,19 @@ import pytest
 
 from repro.experiments import figures
 
-from benchmarks.conftest import run_figure
+from benchmarks.conftest import BOUND, SQPR, run_figure
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5a_scalability_hosts(benchmark):
-    result = run_figure(benchmark, figures.fig5a_scalability_hosts)
-    sqpr = result.series["sqpr"]
-    bound = result.series["optimistic_bound"]
+    result = run_figure(
+        benchmark,
+        figures.fig5a_scalability_hosts,
+        planner_name=SQPR,
+        bound_name=BOUND,
+    )
+    sqpr = result.series[SQPR]
+    bound = result.series[BOUND]
     # More hosts -> at least as many satisfiable queries (small tolerance).
     assert sqpr[-1] >= sqpr[0] - 2
     assert bound[-1] >= bound[0]
@@ -30,23 +35,33 @@ def test_fig5a_scalability_hosts(benchmark):
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5b_scalability_resources(benchmark):
-    result = run_figure(benchmark, figures.fig5b_scalability_resources)
-    sqpr = result.series["sqpr"]
+    result = run_figure(
+        benchmark,
+        figures.fig5b_scalability_resources,
+        planner_name=SQPR,
+        bound_name=BOUND,
+    )
+    sqpr = result.series[SQPR]
     # Richer hosts admit at least as many queries; with 8x CPU the workload
     # should be fully admitted or close to it.
     assert sqpr[-1] >= sqpr[0]
-    assert sqpr[-1] >= 0.8 * max(result.series["optimistic_bound"])
+    assert sqpr[-1] >= 0.8 * max(result.series[BOUND])
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5c_query_complexity(benchmark):
-    result = run_figure(benchmark, figures.fig5c_query_complexity)
-    sqpr = result.series["sqpr"]
+    result = run_figure(
+        benchmark,
+        figures.fig5c_query_complexity,
+        planner_name=SQPR,
+        bound_name=BOUND,
+    )
+    sqpr = result.series[SQPR]
     # More complex queries consume more resources, so the number of
     # satisfiable queries must not increase with arity (small tolerance).
     assert sqpr[-1] <= sqpr[0] + 2
     # SQPR stays within a constant factor of the optimistic bound across
     # arities (the paper: efficiency roughly independent of complexity).
-    for s, b in zip(sqpr, result.series["optimistic_bound"]):
+    for s, b in zip(sqpr, result.series[BOUND]):
         if b > 0:
             assert s >= 0.5 * b - 2

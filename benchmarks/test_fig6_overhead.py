@@ -14,12 +14,14 @@ import pytest
 
 from repro.experiments import figures
 
-from benchmarks.conftest import run_figure
+from benchmarks.conftest import SQPR, run_figure
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6a_planning_time_vs_hosts(benchmark):
-    result = run_figure(benchmark, figures.fig6a_planning_time_vs_hosts)
+    result = run_figure(
+        benchmark, figures.fig6a_planning_time_vs_hosts, planner_name=SQPR
+    )
     times = result.series["avg_planning_time_s"]
     assert all(t >= 0.0 for t in times)
     # Planning time grows with the number of hosts: the largest configuration
@@ -29,7 +31,9 @@ def test_fig6a_planning_time_vs_hosts(benchmark):
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6b_planning_time_vs_arity(benchmark):
-    result = run_figure(benchmark, figures.fig6b_planning_time_vs_arity)
+    result = run_figure(
+        benchmark, figures.fig6b_planning_time_vs_arity, planner_name=SQPR
+    )
     times = result.series["avg_planning_time_s"]
     assert all(t >= 0.0 for t in times)
     assert max(times) > 0.0

@@ -12,14 +12,16 @@ import pytest
 from repro.experiments import figures
 from repro.experiments.metrics import series_is_non_decreasing
 
-from benchmarks.conftest import run_figure
+from benchmarks.conftest import SODA, SQPR, run_figure
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7a_cluster_efficiency(benchmark):
-    result = run_figure(benchmark, figures.fig7a_cluster_efficiency)
-    sqpr = result.series["sqpr"]
-    soda = result.series["soda"]
+    result = run_figure(
+        benchmark, figures.fig7a_cluster_efficiency, planners=(SQPR, SODA)
+    )
+    sqpr = result.series[SQPR]
+    soda = result.series[SODA]
     assert series_is_non_decreasing(sqpr)
     assert series_is_non_decreasing(soda)
     # The paper: SQPR admits at least as many queries as SODA, with the gap
@@ -29,7 +31,9 @@ def test_fig7a_cluster_efficiency(benchmark):
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7b_cpu_distribution(benchmark):
-    result = run_figure(benchmark, figures.fig7b_cpu_distribution)
+    result = run_figure(
+        benchmark, figures.fig7b_cpu_distribution, planners=(SQPR, SODA)
+    )
     for key, series in result.series.items():
         if key.endswith("_cdf") and series:
             assert series[-1] == pytest.approx(1.0)
@@ -41,7 +45,9 @@ def test_fig7b_cpu_distribution(benchmark):
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7c_network_distribution(benchmark):
-    result = run_figure(benchmark, figures.fig7c_network_distribution)
+    result = run_figure(
+        benchmark, figures.fig7c_network_distribution, planners=(SQPR, SODA)
+    )
     for key, series in result.series.items():
         if key.endswith("_cdf") and series:
             assert series[-1] == pytest.approx(1.0)

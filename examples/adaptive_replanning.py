@@ -21,6 +21,7 @@ from repro import (
     SQPRPlanner,
     SimulationScenarioConfig,
     build_simulation_scenario,
+    create_planner,
 )
 
 
@@ -42,8 +43,17 @@ def main() -> None:
         SimulationScenarioConfig(num_hosts=5, num_base_streams=25, seed=13)
     )
     catalog = scenario.build_catalog()
-    planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
+    planner = create_planner("sqpr", catalog, config=PlannerConfig(time_limit=1.0))
     monitor = ResourceMonitor(catalog, random_state=13)
+
+    # Observe re-planning rounds through the planner's event hooks instead
+    # of subclassing the planner or the replanner.
+    planner.on_replan(
+        lambda report: print(
+            f"[hook] replan round: {len(report.victims)} victims, "
+            f"{len(report.readmitted)} re-admitted, {len(report.dropped)} dropped"
+        )
+    )
 
     for item in scenario.workload(12, arities=(2, 3)):
         planner.submit(item)

@@ -16,9 +16,8 @@ import sys
 
 from repro import (
     PlannerConfig,
-    SQPRPlanner,
-    SodaPlanner,
     build_cluster_scenario,
+    create_planner,
     run_admission_experiment,
 )
 from repro.experiments.metrics import percentile
@@ -30,10 +29,11 @@ def main(num_queries: int = 60) -> None:
     workload = scenario.workload(num_queries, arities=(2, 3))
     epoch = max(5, num_queries // 5)
 
-    sqpr = SQPRPlanner(scenario.build_catalog(), config=PlannerConfig(time_limit=0.3))
+    config = PlannerConfig(time_limit=0.3)
+    sqpr = create_planner("sqpr", scenario.build_catalog(), config=config)
     sqpr_curve = run_admission_experiment(sqpr, workload, checkpoint_every=epoch)
 
-    soda = SodaPlanner(scenario.build_catalog())
+    soda = create_planner("soda", scenario.build_catalog(), config=config)
     soda_curve = run_admission_experiment(
         soda, workload, checkpoint_every=epoch, group_size=epoch
     )

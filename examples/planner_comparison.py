@@ -1,9 +1,11 @@
-"""Compare SQPR against the greedy-reuse heuristic and the optimistic bound.
+"""Compare every registered planner on one shared workload.
 
 This is a miniature version of the paper's Figure 4(a) experiment: the same
-workload is submitted, one query at a time, to SQPR, to the hand-crafted
-heuristic planner and to the aggregate-host optimistic bound, and the
-admission curves are printed side by side.
+workload is submitted, one query at a time, to each planner in the registry
+(SQPR, the hand-crafted heuristic, the SODA-like planner and the
+aggregate-host optimistic bound), and the admission curves are printed side
+by side.  Thanks to the unified planner API the loop body is identical for
+every planner — adding a planner to the registry adds a column here.
 
 Run with::
 
@@ -15,11 +17,10 @@ from __future__ import annotations
 import sys
 
 from repro import (
-    HeuristicPlanner,
-    OptimisticBoundPlanner,
     PlannerConfig,
-    SQPRPlanner,
+    available_planners,
     build_simulation_scenario,
+    create_planner,
     run_admission_experiment,
 )
 from repro.experiments.reporting import format_table
@@ -29,44 +30,42 @@ def main(num_queries: int = 40) -> None:
     scenario = build_simulation_scenario()
     workload = scenario.workload(num_queries)
     checkpoint = max(5, num_queries // 8)
+    planner_names = available_planners()
 
     print(f"scenario: {scenario.num_hosts} hosts, {scenario.num_base_streams} base streams")
     print(f"workload: {num_queries} queries (2/3/4-way joins, Zipf 1.0)")
+    print(f"planners: {', '.join(planner_names)}")
     print()
 
-    sqpr = SQPRPlanner(scenario.build_catalog(), config=PlannerConfig(time_limit=0.3))
-    sqpr_curve = run_admission_experiment(sqpr, workload, checkpoint_every=checkpoint)
+    curves = {}
+    for name in planner_names:
+        planner = create_planner(
+            name, scenario.build_catalog(), config=PlannerConfig(time_limit=0.3)
+        )
+        # group_size is omitted: epoch planners automatically get epochs.
+        curves[name] = run_admission_experiment(
+            planner, workload, checkpoint_every=checkpoint
+        )
 
-    heuristic = HeuristicPlanner(scenario.build_catalog())
-    heuristic_curve = run_admission_experiment(
-        heuristic, workload, checkpoint_every=checkpoint
-    )
-
-    bound = OptimisticBoundPlanner(scenario.build_catalog())
-    bound_curve = run_admission_experiment(bound, workload, checkpoint_every=checkpoint)
-
+    reference = curves[planner_names[0]]
     rows = []
-    for index, submitted in enumerate(sqpr_curve.submitted):
+    for index, submitted in enumerate(reference.submitted):
         rows.append(
-            [
-                submitted,
-                sqpr_curve.satisfied[index],
-                heuristic_curve.satisfied[index],
-                bound_curve.satisfied[index],
-            ]
+            [submitted] + [curves[name].satisfied[index] for name in planner_names]
         )
     print(
         format_table(
-            ["submitted", "sqpr", "heuristic", "optimistic bound"],
+            ["submitted"] + list(planner_names),
             rows,
             title="satisfied queries vs submitted queries",
         )
     )
     print()
-    print(
-        f"average SQPR planning time: "
-        f"{sqpr_curve.average_planning_time() * 1000:.0f} ms/query"
-    )
+    for name in planner_names:
+        print(
+            f"average {name} planning time: "
+            f"{curves[name].average_planning_time() * 1000:.0f} ms/query"
+        )
 
 
 if __name__ == "__main__":

@@ -1,33 +1,40 @@
 """Quickstart: plan a handful of continuous queries with SQPR.
 
-Builds a small simulated data-centre DSPS, submits a few join queries one at
-a time (exactly like the paper's Algorithm 1), and prints for each query
-whether it was admitted, how long planning took and which hosts ended up
-running its operators.
+Builds a small simulated data-centre DSPS, constructs the SQPR planner
+through the unified planner registry (``create_planner``), submits a few
+join queries one at a time (exactly like the paper's Algorithm 1), and
+prints for each query whether it was admitted, how long planning took and
+which hosts ended up running its operators.
+
+Any other registered planner name (``heuristic``, ``soda``,
+``optimistic``) can be passed as the first command-line argument to drive
+the same workload through a different planner.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [planner]
 """
 
 from __future__ import annotations
 
+import sys
+
 from repro import (
     PlannerConfig,
-    SQPRPlanner,
     SimulationScenarioConfig,
     build_simulation_scenario,
+    create_planner,
     extract_plan,
 )
 
 
-def main() -> None:
+def main(planner_name: str = "sqpr") -> None:
     # A small data-centre: 6 hosts, 30 base streams at 10 Mbps each.
     scenario = build_simulation_scenario(
         SimulationScenarioConfig(num_hosts=6, num_base_streams=30, seed=42)
     )
     catalog = scenario.build_catalog()
-    planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
+    planner = create_planner(planner_name, catalog, config=PlannerConfig(time_limit=1.0))
 
     print(catalog.summary())
     print()
@@ -39,26 +46,27 @@ def main() -> None:
         joined = " ⋈ ".join(item.base_names)
         print(
             f"query {outcome.query.query_id:>2}  [{joined:<18}]  {verdict:<8} "
-            f"({outcome.planning_time * 1000:6.1f} ms, "
-            f"{outcome.model_size:4d} model variables)"
+            f"({outcome.planning_time * 1000:6.1f} ms)"
         )
-        if outcome.admitted:
+        if outcome.admitted and planner.allocation is not None:
             plan = extract_plan(catalog, planner.allocation, outcome.query.result_stream)
             hosts = ", ".join(f"h{h}" for h in sorted(plan.hosts_used()))
             print(f"          plan uses hosts: {hosts}; {plan.num_relays()} relay(s)")
 
     print()
     print(f"admitted {planner.num_admitted}/{planner.num_submitted} queries")
-    print("per-host CPU utilisation:")
-    for host in catalog.host_ids:
-        utilisation = planner.allocation.cpu_utilisation(host)
-        bar = "#" * int(utilisation * 40)
-        print(f"  host {host}: {utilisation * 100:5.1f}% {bar}")
+    allocation = planner.allocation
+    if allocation is not None:
+        print("per-host CPU utilisation:")
+        for host in catalog.host_ids:
+            utilisation = allocation.cpu_utilisation(host)
+            bar = "#" * int(utilisation * 40)
+            print(f"  host {host}: {utilisation * 100:5.1f}% {bar}")
 
-    violations = planner.allocation.validate()
-    print()
-    print("allocation constraint check:", "OK" if not violations else violations)
+        violations = allocation.validate()
+        print()
+        print("allocation constraint check:", "OK" if not violations else violations)
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "sqpr")

@@ -2,6 +2,10 @@
 
 The package is organised as:
 
+* :mod:`repro.api` — the unified planner API: the :class:`Planner`
+  protocol, the :class:`PlanningOutcome` every planner returns, the
+  unified :class:`PlannerConfig`, and the planner registry
+  (:func:`register_planner` / :func:`create_planner`),
 * :mod:`repro.milp` — a MILP modelling layer and solvers (the CPLEX
   substitute),
 * :mod:`repro.dsps` — the distributed stream processing substrate (hosts,
@@ -10,18 +14,37 @@ The package is organised as:
   Algorithm 1, adaptive re-planning, optimistic bound),
 * :mod:`repro.baselines` — the heuristic planner and a SODA-like planner,
 * :mod:`repro.workloads` — workload generation and evaluation scenarios,
-* :mod:`repro.experiments` — drivers reproducing every figure of §V.
+* :mod:`repro.experiments` — planner-agnostic drivers reproducing every
+  figure of §V.
 
 Quickstart
 ----------
->>> from repro import build_simulation_scenario, SQPRPlanner, PlannerConfig
+>>> from repro import build_simulation_scenario, create_planner, PlannerConfig
 >>> scenario = build_simulation_scenario()
 >>> catalog = scenario.build_catalog()
->>> planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=0.5))
+>>> planner = create_planner("sqpr", catalog, config=PlannerConfig(time_limit=0.5))
 >>> outcome = planner.submit(scenario.workload(1)[0])
+>>> outcome.admitted
+True
+
+Every registered planner (``available_planners()`` lists them: ``sqpr``,
+``heuristic``, ``soda``, ``optimistic``) is constructed the same way and
+returns the same :class:`PlanningOutcome` from ``submit()`` /
+``submit_batch()``; planner-specific details live in ``outcome.extras``.
 """
 
-from repro.core.planner import PlannerConfig, PlanningOutcome, SQPRPlanner
+from repro.api import (
+    Planner,
+    PlannerConfig,
+    PlannerHooks,
+    PlannerStats,
+    PlanningOutcome,
+    available_planners,
+    create_planner,
+    get_planner_class,
+    register_planner,
+)
+from repro.core.planner import SQPRPlanner
 from repro.core.adaptive import AdaptiveReplanner
 from repro.core.optimistic import OptimisticBoundPlanner
 from repro.core.weights import ObjectiveWeights
@@ -45,17 +68,27 @@ from repro.workloads.scenarios import (
 )
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "SQPRPlanner",
+    # unified planner API
+    "Planner",
     "PlannerConfig",
+    "PlannerHooks",
+    "PlannerStats",
     "PlanningOutcome",
+    "available_planners",
+    "create_planner",
+    "get_planner_class",
+    "register_planner",
+    # planners
+    "SQPRPlanner",
     "AdaptiveReplanner",
     "OptimisticBoundPlanner",
     "ObjectiveWeights",
     "HeuristicPlanner",
     "SodaPlanner",
+    # substrate
     "Allocation",
     "PlacementDelta",
     "SystemCatalog",
@@ -70,6 +103,7 @@ __all__ = [
     "MilpSolver",
     "Model",
     "SolverBackend",
+    # workloads & experiments
     "WorkloadGenerator",
     "WorkloadSpec",
     "Scenario",
@@ -81,3 +115,11 @@ __all__ = [
     "run_admission_experiment",
     "__version__",
 ]
+
+#: Pre-unification outcome types, kept as deprecated aliases of
+#: :class:`PlanningOutcome` (planner-specific fields moved to ``extras``).
+from repro.api.base import deprecated_outcome_getattr as _deprecated_outcome_getattr
+
+__getattr__ = _deprecated_outcome_getattr(
+    __name__, ("HeuristicOutcome", "SodaOutcome", "OptimisticOutcome")
+)

@@ -1,0 +1,36 @@
+"""Public planner API: protocol, outcome, config, hooks and registry.
+
+>>> from repro.api import create_planner, PlannerConfig
+>>> planner = create_planner("sqpr", catalog, config=PlannerConfig(time_limit=0.5))
+>>> outcome = planner.submit(item)          # -> PlanningOutcome
+"""
+
+from repro.api.base import (
+    Planner,
+    PlannerConfig,
+    PlannerHooks,
+    PlannerStats,
+    PlanningOutcome,
+)
+from repro.api.registry import (
+    available_planners,
+    create_planner,
+    get_planner_class,
+    register_planner,
+    resolve_planner_name,
+    unregister_planner,
+)
+
+__all__ = [
+    "Planner",
+    "PlannerConfig",
+    "PlannerHooks",
+    "PlannerStats",
+    "PlanningOutcome",
+    "available_planners",
+    "create_planner",
+    "get_planner_class",
+    "register_planner",
+    "resolve_planner_name",
+    "unregister_planner",
+]

@@ -1,0 +1,147 @@
+"""Planner registry and factory.
+
+Planners register themselves under a canonical name (plus optional aliases)
+with the :func:`register_planner` decorator; experiment drivers construct
+them by name with :func:`create_planner` and discover them with
+:func:`available_planners`.  The four built-in planners are imported lazily
+so that importing :mod:`repro.api` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Optional, Type
+
+from repro.api.base import Planner, PlannerConfig
+from repro.dsps.catalog import SystemCatalog
+from repro.exceptions import PlanningError
+
+#: canonical name -> planner class
+_REGISTRY: Dict[str, Type[Planner]] = {}
+#: alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+#: alias -> canonical name it pointed at before a registration displaced it
+_DISPLACED_ALIASES: Dict[str, str] = {}
+
+#: Modules whose import registers the built-in planners.
+_BUILTIN_MODULES = (
+    "repro.core.planner",
+    "repro.baselines.heuristic",
+    "repro.baselines.soda.planner",
+    "repro.core.optimistic",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only flip the flag once every import succeeded, so a transient import
+    # failure is retried instead of poisoning the registry for the process.
+    _builtins_loaded = True
+
+
+def register_planner(name, cls=None, *, aliases=()):
+    """Register a :class:`Planner` subclass under ``name``.
+
+    Usable as a decorator (``@register_planner("sqpr")``) or as a direct
+    call (``register_planner("sqpr", SQPRPlanner)``).  Registering a new
+    class under an existing name replaces it, so downstream code can swap
+    in experimental planner implementations.
+    """
+
+    def _register(planner_cls: Type[Planner]) -> Type[Planner]:
+        if not (isinstance(planner_cls, type) and issubclass(planner_cls, Planner)):
+            raise PlanningError(
+                f"register_planner expects a Planner subclass, got {planner_cls!r}"
+            )
+        _REGISTRY[name] = planner_cls
+        # Stamp the class only when it does not declare a name of its own,
+        # so registering an existing class under a second name never renames
+        # the original registration (instances are stamped in create_planner).
+        if not planner_cls.__dict__.get("name"):
+            planner_cls.name = name
+        # An explicit registration always wins over an alias of the same
+        # name, so downstream code can take over an aliased slot too; the
+        # displaced alias is remembered so unregister_planner can restore it.
+        displaced = _ALIASES.pop(name, None)
+        if displaced is not None:
+            _DISPLACED_ALIASES[name] = displaced
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return planner_cls
+
+    if cls is None:
+        return _register
+    return _register(cls)
+
+
+def unregister_planner(name: str) -> None:
+    """Remove ``name`` from the registry.
+
+    A canonical name is removed together with its aliases; an alias name
+    removes just that alias.  An alias that the registration of ``name``
+    displaced is restored, so temporarily overriding an aliased slot is
+    fully reversible.
+    """
+    _ALIASES.pop(name, None)
+    _REGISTRY.pop(name, None)
+    for alias, canonical in list(_ALIASES.items()):
+        if canonical == name:
+            del _ALIASES[alias]
+    previous = _DISPLACED_ALIASES.pop(name, None)
+    if previous is not None and previous in _REGISTRY:
+        _ALIASES[name] = previous
+
+
+def resolve_planner_name(name: str) -> str:
+    """Map an alias to its canonical planner name (identity for canonical).
+
+    A canonical registration always wins over an alias of the same name, so
+    an alias can never hijack an existing planner.
+    """
+    _ensure_builtins()
+    if name in _REGISTRY:
+        return name
+    return _ALIASES.get(name, name)
+
+
+def get_planner_class(name: str) -> Type[Planner]:
+    """Look up the planner class registered under ``name`` (or an alias)."""
+    canonical = resolve_planner_name(name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise PlanningError(
+            f"unknown planner {name!r}; registered planners: {known}"
+        ) from None
+
+
+def available_planners() -> List[str]:
+    """Sorted canonical names of every registered planner."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def create_planner(
+    name: str,
+    catalog: SystemCatalog,
+    config: Optional[PlannerConfig] = None,
+    **kwargs,
+) -> Planner:
+    """Construct the planner registered under ``name``.
+
+    ``config`` is the unified :class:`PlannerConfig`; planner-specific
+    constructor arguments (``weights``, ``solver``, ``allocation``, …) pass
+    through ``kwargs``.  The instance's ``name`` is the canonical registry
+    name it was created under, even when the class is registered under
+    several names.
+    """
+    planner_cls = get_planner_class(name)
+    planner = planner_cls(catalog, config=config, **kwargs)
+    planner.name = resolve_planner_name(name)
+    return planner

@@ -6,14 +6,23 @@
   SODA [9] as described in §V-B: template-based planning in stages
   (macroQ admission, macroW placement, miniW local improvement) with stream
   gluing for reuse and no relaying.
+
+Both return the unified :class:`repro.api.PlanningOutcome`; the old
+``HeuristicOutcome`` / ``SodaOutcome`` names are deprecated aliases of it.
 """
 
-from repro.baselines.heuristic import HeuristicOutcome, HeuristicPlanner
-from repro.baselines.soda.planner import SodaOutcome, SodaPlanner
+from repro.api.base import deprecated_outcome_getattr
+from repro.baselines.heuristic import HeuristicPlanner
+from repro.baselines.soda.planner import SodaPlanner
 
+# The deprecated outcome aliases are reachable by attribute access (via the
+# module __getattr__ below) but deliberately left out of __all__ so that
+# star-imports do not trigger DeprecationWarning.
 __all__ = [
     "HeuristicPlanner",
-    "HeuristicOutcome",
     "SodaPlanner",
-    "SodaOutcome",
 ]
+
+__getattr__ = deprecated_outcome_getattr(
+    __name__, ("HeuristicOutcome", "SodaOutcome")
+)

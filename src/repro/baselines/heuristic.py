@@ -18,27 +18,26 @@ multiple hosts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Union
 
+from repro.api.base import (
+    Planner,
+    PlannerConfig,
+    PlanningOutcome,
+    deprecated_outcome_getattr,
+)
+from repro.api.registry import register_planner
 from repro.core.weights import ObjectiveWeights
 from repro.dsps.allocation import Allocation, PlacementDelta
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import Query, QueryWorkloadItem
-from repro.exceptions import PlanningError
 from repro.utils.timer import Stopwatch
 
+__all__ = ["HeuristicPlanner"]
 
-@dataclass
-class HeuristicOutcome:
-    """Result of planning one query with the heuristic."""
 
-    query: Query
-    admitted: bool
-    duplicate: bool = False
-    planning_time: float = 0.0
-    host: Optional[int] = None
-    plans_considered: int = 0
+__getattr__ = deprecated_outcome_getattr(__name__, ("HeuristicOutcome",))
 
 
 @dataclass
@@ -50,23 +49,27 @@ class _Candidate:
     host: int
 
 
-class HeuristicPlanner:
+@register_planner("heuristic")
+class HeuristicPlanner(Planner):
     """Greedy reuse heuristic with exhaustive abstract-plan enumeration."""
-
-    name = "heuristic"
 
     def __init__(
         self,
         catalog: SystemCatalog,
+        *,
+        config: Optional[PlannerConfig] = None,
         weights: Optional[ObjectiveWeights] = None,
         allocation: Optional[Allocation] = None,
-        max_abstract_plans: int = 64,
+        max_abstract_plans: Optional[int] = None,
     ) -> None:
-        self.catalog = catalog
+        super().__init__(catalog, config)
         self.weights = weights or ObjectiveWeights.paper_default(catalog)
         self.allocation = allocation if allocation is not None else Allocation(catalog)
-        self.max_abstract_plans = max_abstract_plans
-        self.outcomes: List[HeuristicOutcome] = []
+        self.max_abstract_plans = (
+            max_abstract_plans
+            if max_abstract_plans is not None
+            else self.config.max_abstract_plans
+        )
 
     # ------------------------------------------------------------- abstract plans
     def _abstract_plans(self, query: Query) -> List[FrozenSet[int]]:
@@ -206,23 +209,17 @@ class HeuristicPlanner:
         return _Candidate(delta=delta, score=score, host=host)
 
     # ---------------------------------------------------------------- submission
-    def submit(self, query: Union[Query, QueryWorkloadItem]) -> HeuristicOutcome:
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> PlanningOutcome:
         """Plan a single query and return the outcome."""
         watch = Stopwatch()
-        if isinstance(query, QueryWorkloadItem):
-            query = self.catalog.register_query(query)
-        elif not isinstance(query, Query):
-            raise PlanningError(
-                f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
-            )
+        query = self._resolve_query(query)
 
         if self.allocation.is_provided(query.result_stream):
             self.allocation.admit_query(query.query_id)
-            outcome = HeuristicOutcome(
+            outcome = PlanningOutcome(
                 query=query, admitted=True, duplicate=True, planning_time=watch.elapsed()
             )
-            self.outcomes.append(outcome)
-            return outcome
+            return self._record(outcome)
 
         # Direct reuse shortcut: the result stream already exists somewhere
         # (as an intermediate of another query); providing it only costs
@@ -239,14 +236,15 @@ class HeuristicPlanner:
                 delta.set_provided[query.result_stream] = host
                 delta.admit_queries.add(query.query_id)
                 self.allocation.apply(delta)
-                outcome = HeuristicOutcome(
+                outcome = PlanningOutcome(
                     query=query,
                     admitted=True,
                     planning_time=watch.elapsed(),
-                    host=host,
+                    plan=self._maybe_extract_plan(query),
+                    delta=delta,
+                    extras={"host": host},
                 )
-                self.outcomes.append(outcome)
-                return outcome
+                return self._record(outcome)
 
         best: Optional[_Candidate] = None
         plans = self._abstract_plans(query)
@@ -259,23 +257,17 @@ class HeuristicPlanner:
         admitted = best is not None
         if best is not None:
             self.allocation.apply(best.delta)
-        outcome = HeuristicOutcome(
+        outcome = PlanningOutcome(
             query=query,
             admitted=admitted,
             planning_time=watch.elapsed(),
-            host=best.host if best else None,
-            plans_considered=len(plans),
+            plan=self._maybe_extract_plan(query) if admitted else None,
+            delta=best.delta if best else None,
+            objective_value=best.score if best else None,
+            rejection_reason="" if admitted else "no-feasible-placement",
+            extras={
+                "host": best.host if best else None,
+                "plans_considered": len(plans),
+            },
         )
-        self.outcomes.append(outcome)
-        return outcome
-
-    # --------------------------------------------------------------- statistics
-    @property
-    def num_admitted(self) -> int:
-        """Number of admitted queries so far."""
-        return len(self.allocation.admitted_queries)
-
-    @property
-    def num_submitted(self) -> int:
-        """Number of submitted queries so far."""
-        return len(self.outcomes)
+        return self._record(outcome)

@@ -5,72 +5,74 @@ together, admission is decided first (macroQ), operators of the admitted
 templates are placed next (macroW), and the placement is polished with local
 swaps (miniW).  Queries not placeable within the epoch are rejected; SODA
 never revisits them and never restructures already-running templates.
+
+The planner registers itself as ``"soda"``; ``submit_batch`` is an epoch.
+The stage that rejected a query is recorded in the outcome's
+``rejection_reason`` (and as the ``rejected_by`` extra).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
+from repro.api.base import (
+    Planner,
+    PlannerConfig,
+    PlanningOutcome,
+    deprecated_outcome_getattr,
+)
+from repro.api.registry import register_planner
 from repro.baselines.soda.macroq import admit_queries
 from repro.baselines.soda.macrow import place_template
 from repro.baselines.soda.miniw import improve_placement
-from repro.baselines.soda.templates import QueryTemplate, build_template
+from repro.baselines.soda.templates import build_template
 from repro.dsps.allocation import Allocation
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import Query, QueryWorkloadItem
-from repro.exceptions import PlanningError
 from repro.utils.timer import Stopwatch
 
-
-@dataclass
-class SodaOutcome:
-    """Result of planning one query with SODA."""
-
-    query: Query
-    admitted: bool
-    duplicate: bool = False
-    planning_time: float = 0.0
-    rejected_by: str = ""  # "", "macroq" or "macrow"
+__all__ = ["SodaPlanner"]
 
 
-class SodaPlanner:
+__getattr__ = deprecated_outcome_getattr(__name__, ("SodaOutcome",))
+
+
+@register_planner("soda")
+class SodaPlanner(Planner):
     """Template-based epoch planner in the spirit of SODA [9]."""
 
-    name = "soda"
+    plans_in_epochs = True
 
     def __init__(
         self,
         catalog: SystemCatalog,
+        *,
+        config: Optional[PlannerConfig] = None,
         allocation: Optional[Allocation] = None,
-        use_miniw: bool = True,
+        use_miniw: Optional[bool] = None,
     ) -> None:
-        self.catalog = catalog
+        super().__init__(catalog, config)
         self.allocation = allocation if allocation is not None else Allocation(catalog)
-        self.use_miniw = use_miniw
-        self.outcomes: List[SodaOutcome] = []
+        self.use_miniw = use_miniw if use_miniw is not None else self.config.use_miniw
 
     # ---------------------------------------------------------------- submission
-    def _resolve(self, query: Union[Query, QueryWorkloadItem]) -> Query:
-        if isinstance(query, QueryWorkloadItem):
-            return self.catalog.register_query(query)
-        if isinstance(query, Query):
-            return query
-        raise PlanningError(
-            f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
-        )
-
-    def submit(self, query: Union[Query, QueryWorkloadItem]) -> SodaOutcome:
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> PlanningOutcome:
         """Plan a single query (an epoch of size one)."""
         return self.submit_epoch([query])[0]
 
+    def submit_batch(
+        self, queries: Sequence[Union[Query, QueryWorkloadItem]]
+    ) -> List[PlanningOutcome]:
+        """Plan a group of queries; for SODA a batch *is* an epoch."""
+        return self.submit_epoch(queries)
+
     def submit_epoch(
         self, queries: Sequence[Union[Query, QueryWorkloadItem]]
-    ) -> List[SodaOutcome]:
+    ) -> List[PlanningOutcome]:
         """Plan one epoch of queries: macroQ, then macroW + miniW per query."""
         watch = Stopwatch()
-        resolved = [self._resolve(q) for q in queries]
-        outcomes: List[SodaOutcome] = []
+        resolved = [self._resolve_query(q) for q in queries]
+        outcomes: List[PlanningOutcome] = []
 
         # Duplicate queries (result stream already delivered) are free.
         to_plan: List[Query] = []
@@ -78,7 +80,7 @@ class SodaPlanner:
             if self.allocation.is_provided(query.result_stream):
                 self.allocation.admit_query(query.query_id)
                 outcomes.append(
-                    SodaOutcome(query=query, admitted=True, duplicate=True)
+                    PlanningOutcome(query=query, admitted=True, duplicate=True)
                 )
             else:
                 to_plan.append(query)
@@ -90,15 +92,11 @@ class SodaPlanner:
             template = decision.template
             query = template.query
             if not decision.admitted:
-                outcomes.append(
-                    SodaOutcome(query=query, admitted=False, rejected_by="macroq")
-                )
+                outcomes.append(self._rejected(query, "macroq"))
                 continue
             placement = place_template(self.catalog, self.allocation, template)
             if not placement.success:
-                outcomes.append(
-                    SodaOutcome(query=query, admitted=False, rejected_by="macrow")
-                )
+                outcomes.append(self._rejected(query, "macrow"))
                 continue
             candidate = placement.allocation
             if self.use_miniw and placement.placed_operators:
@@ -106,28 +104,26 @@ class SodaPlanner:
                     self.catalog, candidate, placement.placed_operators
                 )
             self.allocation = candidate
-            outcomes.append(SodaOutcome(query=query, admitted=True))
+            outcomes.append(
+                PlanningOutcome(
+                    query=query,
+                    admitted=True,
+                    plan=self._maybe_extract_plan(query),
+                )
+            )
 
         elapsed = watch.elapsed()
         per_query = elapsed / max(1, len(resolved))
         for outcome in outcomes:
             outcome.planning_time = per_query
         ordered = self._reorder(resolved, outcomes)
-        self.outcomes.extend(ordered)
-        return ordered
+        return self._record_many(ordered)
 
     @staticmethod
-    def _reorder(resolved: Sequence[Query], outcomes: Sequence[SodaOutcome]) -> List[SodaOutcome]:
-        by_query = {o.query.query_id: o for o in outcomes}
-        return [by_query[q.query_id] for q in resolved]
-
-    # --------------------------------------------------------------- statistics
-    @property
-    def num_admitted(self) -> int:
-        """Number of admitted queries so far."""
-        return len(self.allocation.admitted_queries)
-
-    @property
-    def num_submitted(self) -> int:
-        """Number of submitted queries so far."""
-        return len(self.outcomes)
+    def _rejected(query: Query, stage: str) -> PlanningOutcome:
+        return PlanningOutcome(
+            query=query,
+            admitted=False,
+            rejection_reason=stage,
+            extras={"rejected_by": stage},
+        )

@@ -96,6 +96,7 @@ class AdaptiveReplanner:
         victims = [qid for qid in victim_ids if qid in allocation.admitted_queries]
         report = ReplanReport(victims=list(victims))
         if not victims:
+            self.planner._notify_replan(report)
             return report
 
         # Step 1: conceptually remove the victims from the system.
@@ -120,4 +121,5 @@ class AdaptiveReplanner:
                 report.readmitted.append(victim)
             else:
                 report.dropped.append(victim)
+        self.planner._notify_replan(report)
         return report

@@ -15,44 +15,45 @@ the aggregate CPU budget allows it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Union
+from typing import Optional, Set, Union
 
+from repro.api.base import (
+    Planner,
+    PlannerConfig,
+    PlanningOutcome,
+    deprecated_outcome_getattr,
+)
+from repro.api.registry import register_planner
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import Query, QueryWorkloadItem
 from repro.exceptions import PlanningError
+from repro.utils.timer import Stopwatch
+
+__all__ = ["OptimisticBoundPlanner"]
 
 
-@dataclass
-class OptimisticOutcome:
-    """Admission decision of the optimistic bound for one query."""
-
-    query: Query
-    admitted: bool
-    marginal_cpu: float
+__getattr__ = deprecated_outcome_getattr(__name__, ("OptimisticOutcome",))
 
 
-class OptimisticBoundPlanner:
+@register_planner("optimistic", aliases=("optimistic_bound",))
+class OptimisticBoundPlanner(Planner):
     """Upper bound on the number of satisfiable queries."""
 
-    name = "optimistic"
-
-    def __init__(self, catalog: SystemCatalog) -> None:
-        self.catalog = catalog
+    def __init__(
+        self, catalog: SystemCatalog, config: Optional[PlannerConfig] = None
+    ) -> None:
+        super().__init__(catalog, config)
         self.cpu_capacity = catalog.total_cpu_capacity()
         self.cpu_used = 0.0
         self._produced_streams: Set[int] = set()
-        self.outcomes: List[OptimisticOutcome] = []
         self._admitted_results: Set[int] = set()
 
-    def _resolve(self, query: Union[Query, QueryWorkloadItem]) -> Query:
-        if isinstance(query, QueryWorkloadItem):
-            return self.catalog.register_query(query)
-        if isinstance(query, Query):
-            return query
-        raise PlanningError(
-            f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
-        )
+    def reset(self) -> None:
+        """Forget all outcomes and release the aggregate CPU budget."""
+        super().reset()
+        self.cpu_used = 0.0
+        self._produced_streams.clear()
+        self._admitted_results.clear()
 
     def _cheapest_plan_cost(self, query: Query) -> tuple:
         """CPU cost and operator set of the cheapest plan with full reuse.
@@ -100,13 +101,19 @@ class OptimisticBoundPlanner:
             )
         return result
 
-    def submit(self, query: Union[Query, QueryWorkloadItem]) -> OptimisticOutcome:
+    def submit(self, query: Union[Query, QueryWorkloadItem]) -> PlanningOutcome:
         """Decide admission of one query under the aggregate-host relaxation."""
-        query = self._resolve(query)
+        watch = Stopwatch()
+        query = self._resolve_query(query)
         if query.result_stream in self._admitted_results:
-            outcome = OptimisticOutcome(query=query, admitted=True, marginal_cpu=0.0)
-            self.outcomes.append(outcome)
-            return outcome
+            outcome = PlanningOutcome(
+                query=query,
+                admitted=True,
+                duplicate=True,
+                planning_time=watch.elapsed(),
+                extras={"marginal_cpu": 0.0},
+            )
+            return self._record(outcome)
         marginal_cpu, operators = self._cheapest_plan_cost(query)
         admitted = self.cpu_used + marginal_cpu <= self.cpu_capacity + 1e-9
         if admitted:
@@ -116,17 +123,12 @@ class OptimisticBoundPlanner:
             for operator_id in operators:
                 operator = self.catalog.get_operator(operator_id)
                 self._produced_streams.add(operator.output_stream)
-        outcome = OptimisticOutcome(query=query, admitted=admitted, marginal_cpu=marginal_cpu)
-        self.outcomes.append(outcome)
-        return outcome
-
-    # ------------------------------------------------------------- statistics
-    @property
-    def num_admitted(self) -> int:
-        """Number of queries admitted so far."""
-        return sum(1 for o in self.outcomes if o.admitted)
-
-    @property
-    def num_submitted(self) -> int:
-        """Number of queries submitted so far."""
-        return len(self.outcomes)
+        outcome = PlanningOutcome(
+            query=query,
+            admitted=admitted,
+            planning_time=watch.elapsed(),
+            objective_value=-marginal_cpu,
+            rejection_reason="" if admitted else "insufficient-aggregate-cpu",
+            extras={"marginal_cpu": marginal_cpu},
+        )
+        return self._record(outcome)

@@ -13,101 +13,36 @@ DSPS.  For every submitted query it
 
 Batched submission (Fig. 4b) plans several new queries in one model with a
 proportionally larger timeout.
+
+``PlannerConfig`` and ``PlanningOutcome`` are re-exported from
+:mod:`repro.api` for backwards compatibility; the planner registers itself
+as ``"sqpr"`` in the planner registry.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
+from repro.api.base import Planner, PlannerConfig, PlanningOutcome
+from repro.api.registry import register_planner
 from repro.core.model_builder import build_model
 from repro.core.reduction import compute_scope
 from repro.core.solution import decode_solution
 from repro.core.weights import ObjectiveWeights
-from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.allocation import Allocation
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.plan import rebuild_minimal_allocation
 from repro.dsps.query import Query, QueryWorkloadItem
 from repro.exceptions import PlanningError
-from repro.milp import MilpSolver, SolverBackend
-from repro.milp.result import SolveResult
+from repro.milp import MilpSolver
 from repro.utils.timer import Stopwatch
 
-
-@dataclass
-class PlannerConfig:
-    """Configuration of an :class:`SQPRPlanner`.
-
-    Attributes
-    ----------
-    time_limit:
-        Per-query solver timeout in seconds (the paper uses 5–60 s; the
-        scaled-down experiments use fractions of a second).
-    replan_overlapping:
-        Whether admitted queries sharing streams with the new query are
-        pulled into the scope and may be re-planned (paper behaviour).
-    max_replanned_queries:
-        Cap on how many overlapping admitted queries join the re-planning
-        scope (see :func:`repro.core.reduction.compute_scope`).
-    two_stage:
-        Solve a small greedy-reuse (frozen) model first and fall back to the
-        full re-planning model only when that fails to admit the query.  The
-        paper solves the re-planning model directly with a 5–60 s CPLEX
-        timeout; with the sub-second timeouts used here the restriction-first
-        order finds admitting incumbents far more reliably while preserving
-        the same search space overall.
-    allow_relay:
-        Whether hosts may relay streams they do not generate (§II-C).
-    max_relay_hops:
-        Bound on relay chain length in the acyclicity constraints.
-    load_balancing:
-        The λ3/λ4 trade-off passed to :class:`ObjectiveWeights`.
-    validate_after_apply:
-        Run the full allocation validator after every admission (slower, but
-        catches decoding bugs; enabled by default in tests).
-    backend:
-        MILP solver backend.
-    """
-
-    time_limit: Optional[float] = 1.0
-    replan_overlapping: bool = True
-    max_replanned_queries: int = 4
-    two_stage: bool = True
-    allow_relay: bool = True
-    max_relay_hops: int = 3
-    load_balancing: float = 0.5
-    mip_gap: float = 1e-3
-    garbage_collect: bool = True
-    validate_after_apply: bool = False
-    backend: SolverBackend = SolverBackend.AUTO
+__all__ = ["PlannerConfig", "PlanningOutcome", "SQPRPlanner"]
 
 
-@dataclass
-class PlanningOutcome:
-    """The result of planning one query (or one batch member)."""
-
-    query: Query
-    admitted: bool
-    duplicate: bool = False
-    planning_time: float = 0.0
-    solve_result: Optional[SolveResult] = None
-    model_size: int = 0
-    scope_streams: int = 0
-    scope_operators: int = 0
-
-    def __repr__(self) -> str:
-        verdict = "admitted" if self.admitted else "rejected"
-        return (
-            f"PlanningOutcome(query={self.query.query_id}, {verdict}, "
-            f"{self.planning_time * 1000:.1f} ms)"
-        )
-
-
-class SQPRPlanner:
+@register_planner("sqpr")
+class SQPRPlanner(Planner):
     """Stream Query Planning with Reuse."""
-
-    name = "sqpr"
 
     def __init__(
         self,
@@ -117,8 +52,7 @@ class SQPRPlanner:
         solver: Optional[MilpSolver] = None,
         allocation: Optional[Allocation] = None,
     ) -> None:
-        self.catalog = catalog
-        self.config = config or PlannerConfig()
+        super().__init__(catalog, config)
         self.weights = weights or ObjectiveWeights.paper_default(
             catalog, load_balancing=self.config.load_balancing
         )
@@ -128,18 +62,8 @@ class SQPRPlanner:
             mip_gap=self.config.mip_gap,
         )
         self.allocation = allocation if allocation is not None else Allocation(catalog)
-        self.outcomes: List[PlanningOutcome] = []
 
     # -------------------------------------------------------------- submission
-    def _resolve_query(self, query: Union[Query, QueryWorkloadItem]) -> Query:
-        if isinstance(query, QueryWorkloadItem):
-            return self.catalog.register_query(query)
-        if isinstance(query, Query):
-            return query
-        raise PlanningError(
-            f"submit expects a Query or QueryWorkloadItem, got {type(query).__name__}"
-        )
-
     def submit(
         self,
         query: Union[Query, QueryWorkloadItem],
@@ -161,7 +85,6 @@ class SQPRPlanner:
         """
         if not queries:
             return []
-        watch = Stopwatch()
         resolved = [self._resolve_query(q) for q in queries]
 
         # Algorithm 1, line 3: queries whose result stream is already
@@ -188,16 +111,8 @@ class SQPRPlanner:
                 time_limit = self.config.time_limit * len(to_plan)
             planned_outcomes = self._plan(to_plan, time_limit)
 
-        all_outcomes = duplicate_outcomes + planned_outcomes
-        self.outcomes.extend(all_outcomes)
-        return self._reorder(resolved, all_outcomes)
-
-    @staticmethod
-    def _reorder(
-        resolved: Sequence[Query], outcomes: Sequence[PlanningOutcome]
-    ) -> List[PlanningOutcome]:
-        by_query = {outcome.query.query_id: outcome for outcome in outcomes}
-        return [by_query[q.query_id] for q in resolved]
+        ordered = self._reorder(resolved, duplicate_outcomes + planned_outcomes)
+        return self._record_many(ordered)
 
     # ---------------------------------------------------------------- planning
     def _solve_stage(
@@ -297,38 +212,21 @@ class SQPRPlanner:
         per_query_time = elapsed / max(1, len(queries))
         outcomes: List[PlanningOutcome] = []
         for query in queries:
+            admitted = query.query_id in admitted_ids
             outcomes.append(
                 PlanningOutcome(
                     query=query,
-                    admitted=query.query_id in admitted_ids,
+                    admitted=admitted,
                     planning_time=per_query_time,
-                    solve_result=result,
-                    model_size=built.model.num_variables,
-                    scope_streams=scope.num_streams,
-                    scope_operators=scope.num_operators,
+                    plan=self._maybe_extract_plan(query) if admitted else None,
+                    objective_value=result.objective,
+                    rejection_reason="" if admitted else "no-admitting-incumbent",
+                    extras={
+                        "solve_result": result,
+                        "model_size": built.model.num_variables,
+                        "scope_streams": scope.num_streams,
+                        "scope_operators": scope.num_operators,
+                    },
                 )
             )
         return outcomes
-
-    # -------------------------------------------------------------- statistics
-    @property
-    def num_admitted(self) -> int:
-        """Number of queries admitted so far."""
-        return len(self.allocation.admitted_queries)
-
-    @property
-    def num_submitted(self) -> int:
-        """Number of queries submitted so far."""
-        return len(self.outcomes)
-
-    def admission_rate(self) -> float:
-        """Fraction of submitted queries that were admitted."""
-        if not self.outcomes:
-            return 0.0
-        return sum(1 for o in self.outcomes if o.admitted) / len(self.outcomes)
-
-    def average_planning_time(self) -> float:
-        """Mean planning time per submitted query (seconds)."""
-        if not self.outcomes:
-            return 0.0
-        return sum(o.planning_time for o in self.outcomes) / len(self.outcomes)

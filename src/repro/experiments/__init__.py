@@ -1,4 +1,9 @@
-"""Experiment drivers reproducing the paper's evaluation (§V)."""
+"""Experiment drivers reproducing the paper's evaluation (§V).
+
+All drivers are planner-agnostic: they construct planners by registry name
+through :func:`repro.api.create_planner`, so any registered planner can be
+swapped into any figure.
+"""
 
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 from repro.experiments.metrics import (

@@ -5,6 +5,11 @@ Every function builds the relevant scenario, runs the planners and returns a
 and solver timeouts default to *scaled-down* values so the complete harness
 finishes on a laptop; pass larger values to approach the paper's scale.
 
+The drivers are planner-agnostic: planners are constructed by registry name
+via :func:`repro.api.create_planner`, so any registered planner (including
+ones registered by downstream code) can be swapped into any figure by
+passing its name.  Series are keyed by the planner names as passed.
+
 The benchmark files under ``benchmarks/`` call these functions, assert the
 paper's qualitative findings (who wins, where saturation appears) and print
 the series so EXPERIMENTS.md can record paper-vs-measured values.
@@ -15,17 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.heuristic import HeuristicPlanner
-from repro.baselines.soda.planner import SodaPlanner
-from repro.core.optimistic import OptimisticBoundPlanner
-from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.api import Planner, PlannerConfig, create_planner
 from repro.experiments.metrics import cdf
-from repro.experiments.reporting import format_series, format_table
+from repro.experiments.reporting import format_series
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 from repro.workloads.scenarios import (
     Scenario,
     SimulationScenarioConfig,
-    ClusterScenarioConfig,
     build_cluster_scenario,
     build_simulation_scenario,
 )
@@ -56,10 +57,19 @@ def _default_simulation(num_hosts: Optional[int] = None, num_base_streams: Optio
     return scenario
 
 
-def _sqpr_planner(scenario: Scenario, time_limit: float, **config_kwargs) -> SQPRPlanner:
+def _make_planner(
+    name: str, scenario: Scenario, time_limit: Optional[float] = None, **config_kwargs
+) -> Planner:
+    """Build a fresh catalog for ``scenario`` and a planner on it by name.
+
+    ``time_limit=None`` keeps the :class:`PlannerConfig` default (a bounded
+    solve) rather than disabling the solver timeout outright.
+    """
     catalog = scenario.build_catalog()
-    config = PlannerConfig(time_limit=time_limit, **config_kwargs)
-    return SQPRPlanner(catalog, config=config)
+    if time_limit is not None:
+        config_kwargs["time_limit"] = time_limit
+    config = PlannerConfig(**config_kwargs)
+    return create_planner(name, catalog, config=config)
 
 
 def _curve_series(curve: AdmissionCurve) -> List[float]:
@@ -73,9 +83,11 @@ def fig4a_planning_efficiency(
     timeouts: Sequence[float] = (0.1, 0.3, 0.6),
     checkpoint_every: int = 10,
     arities: Tuple[int, ...] = (2, 3, 4),
+    baselines: Sequence[str] = ("heuristic", "optimistic_bound"),
 ) -> FigureResult:
-    """Fig. 4(a): satisfied vs submitted queries for SQPR (several timeouts),
-    the heuristic planner and the optimistic bound."""
+    """Fig. 4(a): satisfied vs submitted queries for SQPR (several timeouts)
+    and the baseline planners (by default the heuristic and the optimistic
+    bound; any registered planner name works)."""
     scenario = scenario or _default_simulation()
     workload = scenario.workload(num_queries, arities=arities)
     result = FigureResult(
@@ -83,26 +95,29 @@ def fig4a_planning_efficiency(
         description="planning efficiency (satisfied vs submitted queries)",
     )
 
+    last_curve = None
     for timeout in timeouts:
-        planner = _sqpr_planner(scenario, timeout)
+        planner = _make_planner("sqpr", scenario, timeout)
         curve = run_admission_experiment(
             planner, workload, checkpoint_every=checkpoint_every
         )
         result.series[f"sqpr_timeout_{timeout:g}s"] = _curve_series(curve)
+        last_curve = curve
 
-    heuristic = HeuristicPlanner(scenario.build_catalog())
-    heuristic_curve = run_admission_experiment(
-        heuristic, workload, checkpoint_every=checkpoint_every
-    )
-    result.series["heuristic"] = _curve_series(heuristic_curve)
+    baseline_time_limit = max(timeouts, default=None)
+    for name in baselines:
+        planner = _make_planner(name, scenario, baseline_time_limit)
+        # group_size is omitted: the runner plans epochs for epoch planners.
+        curve = run_admission_experiment(
+            planner, workload, checkpoint_every=checkpoint_every
+        )
+        result.series[name] = _curve_series(curve)
+        last_curve = curve
 
-    optimistic = OptimisticBoundPlanner(scenario.build_catalog())
-    optimistic_curve = run_admission_experiment(
-        optimistic, workload, checkpoint_every=checkpoint_every
-    )
-    result.series["optimistic_bound"] = _curve_series(optimistic_curve)
-
-    result.series["submitted"] = [float(v) for v in optimistic_curve.submitted]
+    # Every curve shares the same workload and checkpoints, so any of them
+    # provides the submitted series.
+    if last_curve is not None:
+        result.series["submitted"] = [float(v) for v in last_curve.submitted]
     return result
 
 
@@ -113,6 +128,7 @@ def fig4b_batching(
     batch_sizes: Sequence[int] = (2, 3, 4, 5),
     per_query_timeout: float = 0.15,
     checkpoint_every: int = 8,
+    planner_name: str = "sqpr",
 ) -> FigureResult:
     """Fig. 4(b): planning efficiency when queries are submitted in batches."""
     scenario = scenario or _default_simulation()
@@ -122,14 +138,13 @@ def fig4b_batching(
         description="planning efficiency with query batching",
     )
     for batch in batch_sizes:
-        planner = _sqpr_planner(scenario, per_query_timeout)
+        planner = _make_planner(planner_name, scenario, per_query_timeout)
         curve = run_admission_experiment(
             planner, workload, checkpoint_every=checkpoint_every, group_size=batch
         )
         result.series[f"batch_{batch}"] = _curve_series(curve)
-        submitted_key = "submitted"
-        if submitted_key not in result.series:
-            result.series[submitted_key] = [float(v) for v in curve.submitted]
+        if "submitted" not in result.series:
+            result.series["submitted"] = [float(v) for v in curve.submitted]
     return result
 
 
@@ -139,6 +154,7 @@ def fig4c_overlap(
     zipf_factors: Sequence[float] = (0.0, 1.0, 2.0),
     base_stream_counts: Sequence[int] = (40, 80),
     time_limit: float = 0.2,
+    planner_name: str = "sqpr",
 ) -> FigureResult:
     """Fig. 4(c): satisfiable queries vs Zipf factor for several base-stream
     universe sizes (more overlap -> more admitted queries)."""
@@ -152,18 +168,45 @@ def fig4c_overlap(
         for zipf in zipf_factors:
             scenario = _default_simulation(num_base_streams=num_streams)
             workload = scenario.workload(num_queries, zipf_exponent=zipf)
-            planner = _sqpr_planner(scenario, time_limit)
+            planner = _make_planner(planner_name, scenario, time_limit)
             curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
             satisfied.append(float(curve.total_satisfied))
         result.series[f"{num_streams}_base_streams"] = satisfied
     return result
 
 
-# ------------------------------------------------------------------- Figure 5(a)
+# --------------------------------------------------------------------- Figure 5
+def _sweep_with_bound(
+    result: FigureResult,
+    scenarios: Sequence[Scenario],
+    workloads: Sequence[Sequence],
+    time_limit: float,
+    planner_name: str,
+    bound_name: str,
+) -> FigureResult:
+    """Run ``planner_name`` and ``bound_name`` over paired scenario/workload
+    sweeps, recording one total-satisfied value per sweep point."""
+    planner_satisfied: List[float] = []
+    bound_satisfied: List[float] = []
+    for scenario, workload in zip(scenarios, workloads):
+        num_queries = len(workload)
+        planner = _make_planner(planner_name, scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
+        planner_satisfied.append(float(curve.total_satisfied))
+        bound = _make_planner(bound_name, scenario, time_limit)
+        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
+        bound_satisfied.append(float(bound_curve.total_satisfied))
+    result.series[planner_name] = planner_satisfied
+    result.series[bound_name] = bound_satisfied
+    return result
+
+
 def fig5a_scalability_hosts(
     host_counts: Sequence[int] = (4, 6, 8, 12),
     num_queries: int = 30,
     time_limit: float = 0.25,
+    planner_name: str = "sqpr",
+    bound_name: str = "optimistic_bound",
 ) -> FigureResult:
     """Fig. 5(a): satisfiable queries vs number of hosts, with the optimistic
     bound for reference."""
@@ -172,27 +215,19 @@ def fig5a_scalability_hosts(
         description="scalability in the number of hosts",
         series={"hosts": [float(h) for h in host_counts]},
     )
-    sqpr_satisfied: List[float] = []
-    bound_satisfied: List[float] = []
-    for hosts in host_counts:
-        scenario = _default_simulation(num_hosts=hosts)
-        workload = scenario.workload(num_queries)
-        planner = _sqpr_planner(scenario, time_limit)
-        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
-        sqpr_satisfied.append(float(curve.total_satisfied))
-        bound = OptimisticBoundPlanner(scenario.build_catalog())
-        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
-        bound_satisfied.append(float(bound_curve.total_satisfied))
-    result.series["sqpr"] = sqpr_satisfied
-    result.series["optimistic_bound"] = bound_satisfied
-    return result
+    scenarios = [_default_simulation(num_hosts=hosts) for hosts in host_counts]
+    workloads = [scenario.workload(num_queries) for scenario in scenarios]
+    return _sweep_with_bound(
+        result, scenarios, workloads, time_limit, planner_name, bound_name
+    )
 
 
-# ------------------------------------------------------------------- Figure 5(b)
 def fig5b_scalability_resources(
     cpu_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     num_queries: int = 40,
     time_limit: float = 0.3,
+    planner_name: str = "sqpr",
+    bound_name: str = "optimistic_bound",
 ) -> FigureResult:
     """Fig. 5(b): satisfiable queries vs per-host resources (CPU cores), with
     network capacities scaled up as in the paper (1 Gbps -> 10 Gbps)."""
@@ -201,29 +236,22 @@ def fig5b_scalability_resources(
         description="scalability in per-host resources",
         series={"cpu_factor": [float(f) for f in cpu_factors]},
     )
-    sqpr_satisfied: List[float] = []
-    bound_satisfied: List[float] = []
-    for factor in cpu_factors:
-        scenario = _default_simulation().with_resources(
-            cpu_factor=factor, bandwidth_factor=10.0
-        )
-        workload = scenario.workload(num_queries)
-        planner = _sqpr_planner(scenario, time_limit)
-        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
-        sqpr_satisfied.append(float(curve.total_satisfied))
-        bound = OptimisticBoundPlanner(scenario.build_catalog())
-        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
-        bound_satisfied.append(float(bound_curve.total_satisfied))
-    result.series["sqpr"] = sqpr_satisfied
-    result.series["optimistic_bound"] = bound_satisfied
-    return result
+    scenarios = [
+        _default_simulation().with_resources(cpu_factor=factor, bandwidth_factor=10.0)
+        for factor in cpu_factors
+    ]
+    workloads = [scenario.workload(num_queries) for scenario in scenarios]
+    return _sweep_with_bound(
+        result, scenarios, workloads, time_limit, planner_name, bound_name
+    )
 
 
-# ------------------------------------------------------------------- Figure 5(c)
 def fig5c_query_complexity(
     arities: Sequence[int] = (2, 3, 4, 5),
     num_queries: int = 30,
     time_limit: float = 0.3,
+    planner_name: str = "sqpr",
+    bound_name: str = "optimistic_bound",
 ) -> FigureResult:
     """Fig. 5(c): satisfiable queries vs query type (2-way .. 5-way joins)."""
     result = FigureResult(
@@ -231,27 +259,41 @@ def fig5c_query_complexity(
         description="scalability in query complexity",
         series={"arity": [float(a) for a in arities]},
     )
-    sqpr_satisfied: List[float] = []
-    bound_satisfied: List[float] = []
-    for arity in arities:
-        scenario = _default_simulation()
-        workload = scenario.workload(num_queries, arities=(arity,))
-        planner = _sqpr_planner(scenario, time_limit)
-        curve = run_admission_experiment(planner, workload, checkpoint_every=num_queries)
-        sqpr_satisfied.append(float(curve.total_satisfied))
-        bound = OptimisticBoundPlanner(scenario.build_catalog())
-        bound_curve = run_admission_experiment(bound, workload, checkpoint_every=num_queries)
-        bound_satisfied.append(float(bound_curve.total_satisfied))
-    result.series["sqpr"] = sqpr_satisfied
-    result.series["optimistic_bound"] = bound_satisfied
+    scenarios = [_default_simulation() for _ in arities]
+    workloads = [
+        scenario.workload(num_queries, arities=(arity,))
+        for scenario, arity in zip(scenarios, arities)
+    ]
+    return _sweep_with_bound(
+        result, scenarios, workloads, time_limit, planner_name, bound_name
+    )
+
+
+# --------------------------------------------------------------------- Figure 6
+def _planning_time_sweep(
+    result: FigureResult,
+    scenarios: Sequence[Scenario],
+    workloads: Sequence[Sequence],
+    time_limit: float,
+    planner_name: str,
+) -> FigureResult:
+    averages: List[float] = []
+    high_util: List[float] = []
+    for scenario, workload in zip(scenarios, workloads):
+        planner = _make_planner(planner_name, scenario, time_limit)
+        curve = run_admission_experiment(planner, workload, checkpoint_every=5)
+        averages.append(curve.average_planning_time())
+        high_util.append(curve.planning_time_at_utilisation())
+    result.series["avg_planning_time_s"] = averages
+    result.series["avg_planning_time_75_95_s"] = high_util
     return result
 
 
-# ------------------------------------------------------------------- Figure 6(a)
 def fig6a_planning_time_vs_hosts(
     host_counts: Sequence[int] = (4, 6, 8, 12),
     num_queries: int = 20,
     time_limit: float = 0.5,
+    planner_name: str = "sqpr",
 ) -> FigureResult:
     """Fig. 6(a): average planning time vs number of hosts at high utilisation."""
     result = FigureResult(
@@ -259,25 +301,16 @@ def fig6a_planning_time_vs_hosts(
         description="planning time vs number of hosts",
         series={"hosts": [float(h) for h in host_counts]},
     )
-    averages: List[float] = []
-    high_util: List[float] = []
-    for hosts in host_counts:
-        scenario = _default_simulation(num_hosts=hosts)
-        workload = scenario.workload(num_queries)
-        planner = _sqpr_planner(scenario, time_limit)
-        curve = run_admission_experiment(planner, workload, checkpoint_every=5)
-        averages.append(curve.average_planning_time())
-        high_util.append(curve.planning_time_at_utilisation())
-    result.series["avg_planning_time_s"] = averages
-    result.series["avg_planning_time_75_95_s"] = high_util
-    return result
+    scenarios = [_default_simulation(num_hosts=hosts) for hosts in host_counts]
+    workloads = [scenario.workload(num_queries) for scenario in scenarios]
+    return _planning_time_sweep(result, scenarios, workloads, time_limit, planner_name)
 
 
-# ------------------------------------------------------------------- Figure 6(b)
 def fig6b_planning_time_vs_arity(
     arities: Sequence[int] = (2, 3, 4, 5),
     num_queries: int = 20,
     time_limit: float = 0.5,
+    planner_name: str = "sqpr",
 ) -> FigureResult:
     """Fig. 6(b): average planning time vs query type on a fixed host count."""
     result = FigureResult(
@@ -285,18 +318,12 @@ def fig6b_planning_time_vs_arity(
         description="planning time vs query complexity",
         series={"arity": [float(a) for a in arities]},
     )
-    averages: List[float] = []
-    high_util: List[float] = []
-    for arity in arities:
-        scenario = _default_simulation()
-        workload = scenario.workload(num_queries, arities=(arity,))
-        planner = _sqpr_planner(scenario, time_limit)
-        curve = run_admission_experiment(planner, workload, checkpoint_every=5)
-        averages.append(curve.average_planning_time())
-        high_util.append(curve.planning_time_at_utilisation())
-    result.series["avg_planning_time_s"] = averages
-    result.series["avg_planning_time_75_95_s"] = high_util
-    return result
+    scenarios = [_default_simulation() for _ in arities]
+    workloads = [
+        scenario.workload(num_queries, arities=(arity,))
+        for scenario, arity in zip(scenarios, arities)
+    ]
+    return _planning_time_sweep(result, scenarios, workloads, time_limit, planner_name)
 
 
 # ------------------------------------------------------------------- Figure 7(a)
@@ -305,28 +332,29 @@ def fig7a_cluster_efficiency(
     num_queries: int = 100,
     epoch_size: int = 20,
     time_limit: float = 0.3,
+    planners: Sequence[str] = ("sqpr", "soda"),
 ) -> FigureResult:
-    """Fig. 7(a): admitted queries per epoch, SQPR vs SODA, on the cluster
-    deployment scenario."""
+    """Fig. 7(a): admitted queries per epoch on the cluster deployment
+    scenario; by default SQPR vs SODA, but any registered planners work.
+    Epoch planners (``plans_in_epochs``) receive whole epochs at once."""
     scenario = scenario or build_cluster_scenario()
     workload = scenario.workload(num_queries, arities=(2, 3))
     result = FigureResult(
         figure="Fig 7(a)",
-        description="cluster deployment planning efficiency (SQPR vs SODA)",
+        description="cluster deployment planning efficiency",
     )
 
-    sqpr = _sqpr_planner(scenario, time_limit)
-    sqpr_curve = run_admission_experiment(
-        sqpr, workload, checkpoint_every=epoch_size, group_size=1
-    )
-    result.series["sqpr"] = _curve_series(sqpr_curve)
-
-    soda = SodaPlanner(scenario.build_catalog())
-    soda_curve = run_admission_experiment(
-        soda, workload, checkpoint_every=epoch_size, group_size=epoch_size
-    )
-    result.series["soda"] = _curve_series(soda_curve)
-    result.series["submitted"] = [float(v) for v in sqpr_curve.submitted]
+    first_curve = None
+    for name in planners:
+        planner = _make_planner(name, scenario, time_limit)
+        curve = run_admission_experiment(
+            planner, workload, checkpoint_every=epoch_size
+        )
+        result.series[name] = _curve_series(curve)
+        if first_curve is None:
+            first_curve = curve
+    if first_curve is not None:
+        result.series["submitted"] = [float(v) for v in first_curve.submitted]
     return result
 
 
@@ -335,40 +363,37 @@ def _cluster_distributions(
     scenario: Scenario,
     query_counts: Sequence[int],
     time_limit: float,
+    planners: Sequence[str],
 ) -> Dict[str, Dict[int, List[float]]]:
-    """Per-host CPU and network distributions for SQPR and SODA at the given
-    submitted-query counts."""
+    """Per-host CPU and network distributions for each planner at the given
+    submitted-query counts.  Planners without a live allocation are skipped."""
     workload = scenario.workload(max(query_counts), arities=(2, 3))
-    distributions: Dict[str, Dict[int, List[float]]] = {
-        "sqpr_cpu": {},
-        "sqpr_net": {},
-        "soda_cpu": {},
-        "soda_net": {},
-    }
+    instances = [
+        (name, _make_planner(name, scenario, time_limit)) for name in planners
+    ]
+    instances = [
+        (name, planner) for name, planner in instances if planner.allocation is not None
+    ]
+    distributions: Dict[str, Dict[int, List[float]]] = {}
+    for name, _ in instances:
+        distributions[f"{name}_cpu"] = {}
+        distributions[f"{name}_net"] = {}
 
-    sqpr = _sqpr_planner(scenario, time_limit)
-    soda = SodaPlanner(scenario.build_catalog())
     submitted = 0
     targets = sorted(set(query_counts))
     for item in workload:
-        sqpr.submit(item)
-        soda.submit(item)
+        for _, planner in instances:
+            planner.submit(item)
         submitted += 1
         if submitted in targets:
-            catalog_hosts = sqpr.catalog.host_ids
-            distributions["sqpr_cpu"][submitted] = [
-                sqpr.allocation.cpu_utilisation(h) * 100.0 for h in catalog_hosts
-            ]
-            distributions["sqpr_net"][submitted] = [
-                sqpr.allocation.network_usage(h) for h in catalog_hosts
-            ]
-            soda_hosts = soda.catalog.host_ids
-            distributions["soda_cpu"][submitted] = [
-                soda.allocation.cpu_utilisation(h) * 100.0 for h in soda_hosts
-            ]
-            distributions["soda_net"][submitted] = [
-                soda.allocation.network_usage(h) for h in soda_hosts
-            ]
+            for name, planner in instances:
+                hosts = planner.catalog.host_ids
+                distributions[f"{name}_cpu"][submitted] = [
+                    planner.allocation.cpu_utilisation(h) * 100.0 for h in hosts
+                ]
+                distributions[f"{name}_net"][submitted] = [
+                    planner.allocation.network_usage(h) for h in hosts
+                ]
     return distributions
 
 
@@ -376,17 +401,20 @@ def fig7b_cpu_distribution(
     scenario: Optional[Scenario] = None,
     query_counts: Sequence[int] = (30, 90),
     time_limit: float = 0.3,
+    planners: Sequence[str] = ("sqpr", "soda"),
 ) -> FigureResult:
-    """Fig. 7(b): CDF of per-host CPU utilisation for SQPR and SODA at a low
-    and a high submitted-query count."""
+    """Fig. 7(b): CDF of per-host CPU utilisation at a low and a high
+    submitted-query count."""
     scenario = scenario or build_cluster_scenario()
-    distributions = _cluster_distributions(scenario, query_counts, time_limit)
+    distributions = _cluster_distributions(scenario, query_counts, time_limit, planners)
     result = FigureResult(
         figure="Fig 7(b)",
         description="CDF of per-host CPU utilisation (percent)",
     )
     for count in query_counts:
-        for planner in ("sqpr", "soda"):
+        for planner in planners:
+            if f"{planner}_cpu" not in distributions:
+                continue  # planner keeps no live allocation to sample
             values, fractions = cdf(distributions[f"{planner}_cpu"].get(count, []))
             result.series[f"{planner}_{count}_cpu_pct"] = values
             result.series[f"{planner}_{count}_cdf"] = fractions
@@ -398,16 +426,19 @@ def fig7c_network_distribution(
     scenario: Optional[Scenario] = None,
     query_counts: Sequence[int] = (30, 90),
     time_limit: float = 0.3,
+    planners: Sequence[str] = ("sqpr", "soda"),
 ) -> FigureResult:
-    """Fig. 7(c): CDF of per-host network usage (Mbps) for SQPR and SODA."""
+    """Fig. 7(c): CDF of per-host network usage (Mbps)."""
     scenario = scenario or build_cluster_scenario()
-    distributions = _cluster_distributions(scenario, query_counts, time_limit)
+    distributions = _cluster_distributions(scenario, query_counts, time_limit, planners)
     result = FigureResult(
         figure="Fig 7(c)",
         description="CDF of per-host network usage (Mbps)",
     )
     for count in query_counts:
-        for planner in ("sqpr", "soda"):
+        for planner in planners:
+            if f"{planner}_net" not in distributions:
+                continue  # planner keeps no live allocation to sample
             values, fractions = cdf(distributions[f"{planner}_net"].get(count, []))
             result.series[f"{planner}_{count}_net_mbps"] = values
             result.series[f"{planner}_{count}_cdf"] = fractions

@@ -3,16 +3,21 @@
 The simulation experiments of §V-A submit one query at a time and observe
 whether it can be admitted; the cluster experiments of §V-B submit queries
 in epochs of 50.  :func:`run_admission_experiment` supports both styles for
-any planner implementing the informal protocol ``submit(item)`` /
-``submit_batch(items)`` / ``submit_epoch(items)`` with outcomes exposing an
-``admitted`` attribute.
+any planner implementing the :class:`repro.api.Planner` protocol —
+``submit(item)`` / ``submit_batch(items)`` returning
+:class:`repro.api.PlanningOutcome` — and stays duck-typed for external
+planner objects (``submit_epoch`` is also recognised).  A registered
+planner name can be passed instead of an instance together with the
+``catalog`` to plan against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.api.base import Planner, PlannerConfig
+from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import QueryWorkloadItem
 from repro.exceptions import PlanningError
 
@@ -86,22 +91,48 @@ def _submit_group(planner, group: Sequence[QueryWorkloadItem]) -> List:
 
 
 def run_admission_experiment(
-    planner,
+    planner: Union[str, Planner],
     workload: Sequence[QueryWorkloadItem],
     checkpoint_every: int = 10,
-    group_size: int = 1,
+    group_size: Optional[int] = None,
+    catalog: Optional[SystemCatalog] = None,
+    config: Optional[PlannerConfig] = None,
 ) -> AdmissionCurve:
     """Submit ``workload`` to ``planner`` and record the admission curve.
 
     Parameters
     ----------
+    planner:
+        A planner instance, or the registry name of one (in which case
+        ``catalog`` is required and the planner is built with ``config``
+        via :func:`repro.api.create_planner`).
     checkpoint_every:
         Record a (submitted, satisfied) point every this many queries.
     group_size:
         Submit queries in groups of this size (1 = one at a time; the
         batching experiment of Fig. 4b and the 50-query epochs of Fig. 7 use
-        larger groups).
+        larger groups).  ``None`` (the default) picks a group size matching
+        the planner's design: ``checkpoint_every`` for epoch planners
+        (``plans_in_epochs``), one at a time otherwise.
     """
+    if isinstance(planner, str):
+        if catalog is None:
+            raise PlanningError(
+                "passing a planner name to run_admission_experiment requires "
+                "the catalog argument"
+            )
+        from repro.api.registry import create_planner
+
+        planner = create_planner(planner, catalog, config=config)
+    elif catalog is not None or config is not None:
+        raise PlanningError(
+            "catalog/config apply only when the planner is given by name; "
+            "a planner instance already carries its own catalog and config"
+        )
+    if group_size is None:
+        group_size = (
+            checkpoint_every if getattr(planner, "plans_in_epochs", False) else 1
+        )
     if group_size <= 0:
         raise PlanningError("group_size must be positive")
     if not hasattr(planner, "submit"):

@@ -54,8 +54,12 @@ def bushy_catalog() -> SystemCatalog:
 
 @pytest.fixture
 def tiny_planner(tiny_catalog: SystemCatalog) -> SQPRPlanner:
-    """An SQPR planner on the tiny catalog with validation enabled."""
-    config = PlannerConfig(time_limit=5.0, validate_after_apply=True)
+    """An SQPR planner on the tiny catalog with validation enabled.
+
+    The tiny models solve to optimality in milliseconds; the time limit is
+    only a safety net, so it is kept low to cap worst-case test duration.
+    """
+    config = PlannerConfig(time_limit=1.0, validate_after_apply=True)
     return SQPRPlanner(tiny_catalog, config=config)
 
 

@@ -36,11 +36,12 @@ def mini_scenario():
     )
 
 
+@pytest.mark.slow
 class TestEndToEndAdmission:
     def test_sqpr_run_produces_valid_plans(self, mini_scenario):
         catalog = mini_scenario.build_catalog()
         planner = SQPRPlanner(
-            catalog, config=PlannerConfig(time_limit=2.0, validate_after_apply=True)
+            catalog, config=PlannerConfig(time_limit=1.0, validate_after_apply=True)
         )
         workload = mini_scenario.workload(12, arities=(2, 3))
         curve = run_admission_experiment(planner, workload, checkpoint_every=4)
@@ -57,7 +58,7 @@ class TestEndToEndAdmission:
         workload = mini_scenario.workload(6, arities=(2,))
         results = {}
         results["sqpr"] = run_admission_experiment(
-            SQPRPlanner(mini_scenario.build_catalog(), config=PlannerConfig(time_limit=2.0)),
+            SQPRPlanner(mini_scenario.build_catalog(), config=PlannerConfig(time_limit=1.0)),
             workload,
         ).total_satisfied
         results["heuristic"] = run_admission_experiment(
@@ -75,7 +76,7 @@ class TestEndToEndAdmission:
     def test_engine_deployment_of_planner_output(self, mini_scenario):
         """The cluster engine accepts exactly what the planner decided."""
         catalog = mini_scenario.build_catalog()
-        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
         engine = ClusterEngine(catalog, strict=False)
         for item in mini_scenario.workload(8, arities=(2, 3)):
             planner.submit(item)
@@ -86,6 +87,7 @@ class TestEndToEndAdmission:
         assert max(report.cpu_utilisation) <= 1.0 + 1e-6
 
 
+@pytest.mark.slow
 class TestClusterComparison:
     def test_sqpr_and_soda_on_cluster_scenario(self):
         scenario = build_cluster_scenario(
@@ -93,7 +95,7 @@ class TestClusterComparison:
         )
         workload = scenario.workload(10, arities=(2, 3))
         sqpr = SQPRPlanner(
-            scenario.build_catalog(), config=PlannerConfig(time_limit=2.0)
+            scenario.build_catalog(), config=PlannerConfig(time_limit=1.0)
         )
         soda = SodaPlanner(scenario.build_catalog())
         sqpr_curve = run_admission_experiment(sqpr, workload)

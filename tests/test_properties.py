@@ -42,9 +42,10 @@ common_settings = settings(
 class TestPlannerInvariants:
     @given(workload=workload_strategy())
     @common_settings
+    @pytest.mark.slow
     def test_allocation_always_feasible_and_admissions_monotone(self, workload):
         catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=5)
-        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
         admitted_so_far = set()
         for item in workload:
             planner.submit(item)
@@ -56,9 +57,10 @@ class TestPlannerInvariants:
 
     @given(workload=workload_strategy())
     @common_settings
+    @pytest.mark.slow
     def test_admitted_queries_have_valid_plans(self, workload):
         catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=5)
-        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=2.0))
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
         for item in workload:
             planner.submit(item)
         for query_id in planner.allocation.admitted_queries:
