@@ -4,13 +4,38 @@
 * Fig. 5(b): satisfiable queries vs per-host resources (CPU cores, 10×
   network capacity).
 * Fig. 5(c): satisfiable queries vs query complexity (2-way .. 5-way joins).
+
+``test_fig5_planning_time_report`` additionally tracks *planning time* per
+model size across PRs: it times the SQPR LP relaxation on growing fig. 5
+style models with the dense reference tableau and the sparse revised
+simplex, writes ``BENCH_fig5.json`` at the repository root (format
+documented in ``docs/benchmarks.md``), and asserts the sparse engine is at
+least 3x faster at the largest configured size.  Set ``FIG5_QUICK=1`` for
+the small-size CI mode and ``FIG5_BENCH_OUT`` to redirect the report.  This
+test needs no pytest-benchmark plugin:
+
+    pytest benchmarks/test_fig5_scalability.py -k planning_time -q
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
+from repro.core.model_builder import build_model
+from repro.core.reduction import compute_scope
+from repro.core.weights import ObjectiveWeights
+from repro.dsps.allocation import Allocation
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
 from repro.experiments import figures
+from repro.milp.lp_backend import solve_lp
+from repro.milp.standard_form import to_standard_form
 
 from benchmarks.conftest import BOUND, SQPR, run_figure
 
@@ -46,6 +71,115 @@ def test_fig5b_scalability_resources(benchmark):
     # should be fully admitted or close to it.
     assert sqpr[-1] >= sqpr[0]
     assert sqpr[-1] >= 0.8 * max(result.series[BOUND])
+
+
+# --------------------------------------------------------------------------
+# Planning-time trajectory: dense reference tableau vs sparse revised simplex.
+
+#: (num_hosts, join_arity) per measured size; the largest entry carries the
+#: >= 3x speedup assertion.  Quick mode keeps CI runs under ~10 s.
+FULL_SIZES = [(4, 3), (6, 3), (8, 4)]
+QUICK_SIZES = [(4, 3), (6, 3)]
+
+MIN_SPEEDUP_AT_LARGEST = 3.0
+
+
+def _fig5_planning_model(num_hosts: int, arity: int):
+    """The reduced SQPR MILP for one ``arity``-way join on ``num_hosts`` hosts."""
+    catalog = SystemCatalog(
+        cost_model=LinearCostModel(seed=1),
+        decomposition=DecompositionMode.CANONICAL,
+        default_link_capacity=1000.0,
+    )
+    for i in range(num_hosts):
+        catalog.add_host(cpu_capacity=10.0, bandwidth_capacity=500.0, name=f"h{i}")
+    for i in range(arity):
+        catalog.add_base_stream(f"b{i}", 10.0, i % num_hosts)
+    query = catalog.register_query(
+        QueryWorkloadItem(base_names=tuple(f"b{i}" for i in range(arity)))
+    )
+    allocation = Allocation(catalog)
+    scope = compute_scope(catalog, allocation, [query])
+    built = build_model(
+        catalog, allocation, scope, ObjectiveWeights.paper_default(catalog)
+    )
+    return to_standard_form(built.model)
+
+
+def _timed_lp(form, engine: str, warm_basis=None):
+    start = time.perf_counter()
+    solution = solve_lp(
+        form.c,
+        form.a_ub,
+        form.b_ub,
+        form.a_eq,
+        form.b_eq,
+        form.lower,
+        form.upper,
+        engine=engine,
+        warm_basis=warm_basis,
+    )
+    return solution, time.perf_counter() - start
+
+
+def test_fig5_planning_time_report():
+    quick = bool(os.environ.get("FIG5_QUICK"))
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    out_path = Path(
+        os.environ.get(
+            "FIG5_BENCH_OUT", Path(__file__).resolve().parent.parent / "BENCH_fig5.json"
+        )
+    )
+
+    records = []
+    for num_hosts, arity in sizes:
+        form = _fig5_planning_model(num_hosts, arity)
+        dense_sol, dense_seconds = _timed_lp(form, "dense")
+        sparse_sol, sparse_seconds = _timed_lp(form, "simplex")
+        warm_sol, warm_seconds = _timed_lp(form, "simplex", warm_basis=sparse_sol.basis)
+
+        assert dense_sol.is_optimal and sparse_sol.is_optimal and warm_sol.is_optimal
+        scale = max(1.0, abs(dense_sol.objective))
+        assert abs(sparse_sol.objective - dense_sol.objective) <= 1e-5 * scale
+        assert abs(warm_sol.objective - dense_sol.objective) <= 1e-5 * scale
+
+        records.append(
+            {
+                "num_hosts": num_hosts,
+                "join_arity": arity,
+                "num_variables": form.num_variables,
+                "num_constraints": form.a_ub.shape[0] + form.a_eq.shape[0],
+                "nnz": form.a_ub.nnz + form.a_eq.nnz,
+                "dense_seconds": round(dense_seconds, 6),
+                "sparse_seconds": round(sparse_seconds, 6),
+                "sparse_warm_seconds": round(warm_seconds, 6),
+                "speedup": round(dense_seconds / max(1e-9, sparse_seconds), 2),
+                "objective": dense_sol.objective,
+            }
+        )
+        print(
+            f"fig5 planning time: hosts={num_hosts} arity={arity} "
+            f"vars={records[-1]['num_variables']} "
+            f"dense={dense_seconds:.3f}s sparse={sparse_seconds:.3f}s "
+            f"warm={warm_seconds:.3f}s speedup={records[-1]['speedup']}x"
+        )
+
+    report = {
+        "figure": "fig5_planning_time",
+        "quick_mode": quick,
+        "baseline_engine": "dense",
+        "candidate_engine": "simplex",
+        "min_speedup_at_largest": MIN_SPEEDUP_AT_LARGEST,
+        "sizes": records,
+        "largest": records[-1],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"fig5 planning-time report written to {out_path}")
+
+    assert records[-1]["speedup"] >= MIN_SPEEDUP_AT_LARGEST, (
+        f"sparse simplex is only {records[-1]['speedup']}x faster than the "
+        f"dense tableau at the largest size; expected >= {MIN_SPEEDUP_AT_LARGEST}x"
+    )
 
 
 @pytest.mark.benchmark(group="fig5")

@@ -88,6 +88,19 @@ class PlannerConfig:
         Extract the admitted query's deployed :class:`QueryPlan` into
         :attr:`PlanningOutcome.plan` (planners that keep a live allocation
         only; costs one plan extraction per admission).
+    reuse_model:
+        Reuse the built MILP across planning rounds whose reduced scope and
+        system state are identical (see
+        :class:`repro.core.model_builder.ModelReuseCache`).  A reuse hit
+        skips model construction and lowering entirely; it never changes
+        planning results, because the key covers every build input.
+    warm_start:
+        Warm-start successive solves from the previous planning round: the
+        last deployed placement seeds the branch-and-bound incumbent (by
+        variable name, so it survives model rebuilds), and within one solve
+        child nodes re-start the simplex from their parent's basis.
+        Disabling this forces every solve fully cold.  Warm and cold solves
+        reach the same optimum; only the time to get there differs.
     """
 
     time_limit: Optional[float] = 1.0
@@ -104,6 +117,8 @@ class PlannerConfig:
     max_abstract_plans: int = 64
     use_miniw: bool = True
     record_plans: bool = False
+    reuse_model: bool = True
+    warm_start: bool = True
 
 
 #: Defaults for well-known planner-specific extras, so the legacy attribute
@@ -118,6 +133,8 @@ _EXTRA_DEFAULTS: Dict[str, Any] = {
     "plans_considered": 0,
     "rejected_by": "",
     "marginal_cpu": 0.0,
+    "reused_model": False,
+    "warm_seeded": False,
 }
 
 

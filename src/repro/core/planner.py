@@ -21,11 +21,11 @@ as ``"sqpr"`` in the planner registry.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api.base import Planner, PlannerConfig, PlanningOutcome
 from repro.api.registry import register_planner
-from repro.core.model_builder import build_model
+from repro.core.model_builder import ModelReuseCache, build_model
 from repro.core.reduction import compute_scope
 from repro.core.solution import decode_solution
 from repro.core.weights import ObjectiveWeights
@@ -60,8 +60,24 @@ class SQPRPlanner(Planner):
             backend=self.config.backend,
             time_limit=self.config.time_limit,
             mip_gap=self.config.mip_gap,
+            warm_start=self.config.warm_start,
         )
         self.allocation = allocation if allocation is not None else Allocation(catalog)
+        self._reuse_cache = ModelReuseCache()
+        # Last applied solution, keyed by variable *name* so it survives
+        # model rebuilds: names like "y[h,s]" are stable across rounds.
+        self._last_values: Dict[str, float] = {}
+
+    def reset(self) -> None:
+        """Forget outcomes, allocation, cached models and warm-start state."""
+        super().reset()
+        self._reuse_cache.clear()
+        self._last_values = {}
+
+    @property
+    def reuse_stats(self) -> Dict[str, int]:
+        """Model-reuse cache counters (hits/misses) for this planner."""
+        return {"hits": self._reuse_cache.hits, "misses": self._reuse_cache.misses}
 
     # -------------------------------------------------------------- submission
     def submit(
@@ -123,7 +139,11 @@ class SQPRPlanner(Planner):
         time_limit: Optional[float],
         force_admission: bool = False,
     ):
-        """Build and solve one model variant; return (scope, built, result)."""
+        """Build (or reuse) and solve one model variant.
+
+        Returns ``(scope, built, result, reused)`` where ``reused`` is true
+        when the model came out of the reuse cache instead of being rebuilt.
+        """
         scope = compute_scope(
             self.catalog,
             self.allocation,
@@ -131,18 +151,35 @@ class SQPRPlanner(Planner):
             replan_overlapping=replan_overlapping,
             max_replanned_queries=self.config.max_replanned_queries,
         )
-        built = build_model(
-            self.catalog,
-            self.allocation,
-            scope,
-            self.weights,
+        build_kwargs = dict(
             frozen_mode=frozen_mode,
             allow_relay=self.config.allow_relay,
             max_relay_hops=self.config.max_relay_hops,
             force_admission=force_admission and len(queries) == 1,
         )
+        if self.config.reuse_model:
+            built, reused = self._reuse_cache.get_or_build(
+                self.catalog, self.allocation, scope, self.weights, **build_kwargs
+            )
+        else:
+            built = build_model(
+                self.catalog, self.allocation, scope, self.weights, **build_kwargs
+            )
+            reused = False
+        if self.config.warm_start:
+            # Seed the solver with the previous round's deployed placement:
+            # shared sub-plans keep their variable names across rebuilds, so
+            # a feasible previous solution becomes the initial incumbent.
+            hint = {
+                var: self._last_values[var.name]
+                for var in built.model.variables
+                if var.name in self._last_values
+            }
+            built.model.set_warm_start(hint)
+        else:
+            built.model.set_warm_start({})
         result = self.solver.solve(built.model, time_limit=time_limit)
-        return scope, built, result
+        return scope, built, result, reused
 
     def _apply_if_admitting(self, built, result) -> frozenset:
         """Decode ``result`` and apply it if it admits any new query."""
@@ -152,6 +189,10 @@ class SQPRPlanner(Planner):
         if not decoded.admitted_any:
             return frozenset()
         self.allocation.apply(decoded.delta)
+        if self.config.warm_start:
+            self._last_values = {
+                var.name: value for var, value in result.values.items()
+            }
         if self.config.garbage_collect:
             # Timed-out incumbents may contain redundant placements and
             # flows; keep only what admitted queries actually need so wasted
@@ -177,7 +218,7 @@ class SQPRPlanner(Planner):
         if use_two_stage:
             # Stage A: a small greedy-reuse model (existing structures frozen).
             stage_a_limit = None if time_limit is None else 0.5 * time_limit
-            scope, built, result = self._solve_stage(
+            scope, built, result, reused = self._solve_stage(
                 queries,
                 frozen_mode=True,
                 replan_overlapping=False,
@@ -191,7 +232,7 @@ class SQPRPlanner(Planner):
                 remaining = None if time_limit is None else max(
                     0.05, time_limit - watch.elapsed()
                 )
-                scope, built, result = self._solve_stage(
+                scope, built, result, reused = self._solve_stage(
                     queries,
                     frozen_mode=False,
                     replan_overlapping=True,
@@ -200,7 +241,7 @@ class SQPRPlanner(Planner):
                 )
                 admitted_ids = self._apply_if_admitting(built, result)
         else:
-            scope, built, result = self._solve_stage(
+            scope, built, result, reused = self._solve_stage(
                 queries,
                 frozen_mode=not replan,
                 replan_overlapping=replan,
@@ -226,6 +267,8 @@ class SQPRPlanner(Planner):
                         "model_size": built.model.num_variables,
                         "scope_streams": scope.num_streams,
                         "scope_operators": scope.num_operators,
+                        "reused_model": reused,
+                        "warm_seeded": bool(built.model.warm_start),
                     },
                 )
             )

@@ -6,10 +6,13 @@ environment, so this subpackage provides the substrate the planner needs:
 
 * a modelling layer (:class:`Variable`, :class:`LinExpr`,
   :class:`Constraint`, :class:`Model`) in the spirit of PuLP,
-* a pure-Python branch-and-bound solver over LP relaxations
-  (:mod:`repro.milp.branch_and_bound`), with LP relaxations solved either by
-  an in-repo dense simplex (:mod:`repro.milp.simplex`) or by
-  ``scipy.optimize.linprog``,
+* a sparse lowering to standard form (:mod:`repro.milp.standard_form` over
+  :class:`~repro.milp.sparse.CsrMatrix`),
+* a warm-starting pure-Python branch-and-bound solver over LP relaxations
+  (:mod:`repro.milp.branch_and_bound`), with LP relaxations solved by the
+  vectorized revised simplex (:mod:`repro.milp.simplex`), by
+  ``scipy.optimize.linprog``, or by the dense reference tableau
+  (:mod:`repro.milp.dense_simplex`),
 * an optional ``scipy.optimize.milp`` (HiGHS) backend, and
 * a :class:`MilpSolver` facade that picks a backend, honours wall-clock
   time limits and always reports the best incumbent found — mirroring the
@@ -21,6 +24,8 @@ from repro.milp.constraint import Constraint, ConstraintSense
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.solver import MilpSolver, SolverBackend
 from repro.milp.result import SolveResult, SolveStatus
+from repro.milp.simplex import LpSolution, SimplexBasis
+from repro.milp.sparse import CsrMatrix
 
 __all__ = [
     "Variable",
@@ -35,4 +40,7 @@ __all__ = [
     "SolverBackend",
     "SolveResult",
     "SolveStatus",
+    "LpSolution",
+    "SimplexBasis",
+    "CsrMatrix",
 ]

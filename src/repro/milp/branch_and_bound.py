@@ -1,4 +1,4 @@
-"""A branch-and-bound MILP solver built on LP relaxations.
+"""A warm-starting branch-and-bound MILP solver built on LP relaxations.
 
 This is the pure-Python stand-in for CPLEX's MILP search.  It implements the
 textbook algorithm the paper relies on ("standard branch and bound
@@ -12,6 +12,17 @@ algorithms", §III-B):
   returned — exactly how SQPR uses its solver ("prematurely terminate the
   branch and bound algorithm after a given time interval and use the best
   solution that the method found").
+
+Two reuse mechanisms speed up the search (both on by default):
+
+* **Basis warm starts** — a child node differs from its parent by a single
+  bound change, so its LP relaxation is re-solved starting from the
+  parent's optimal :class:`~repro.milp.simplex.SimplexBasis` instead of
+  from scratch (simplex engine only; scipy re-solves cold).
+* **Incumbent seeding** — when the model carries a warm-start hint (see
+  :meth:`Model.set_warm_start`; the SQPR planner passes the previous
+  planning round's deployed placement), a feasible hint becomes the initial
+  incumbent, so large parts of the tree are pruned before the first branch.
 """
 
 from __future__ import annotations
@@ -20,17 +31,19 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.milp.lp_backend import solve_lp
 from repro.milp.model import Model
 from repro.milp.result import SolveResult, SolveStatus
+from repro.milp.simplex import SimplexBasis
 from repro.milp.standard_form import StandardForm, to_standard_form
 from repro.utils.timer import Deadline
 
 _INT_TOL = 1e-6
+_FEAS_TOL = 1e-6
 
 
 @dataclass
@@ -42,17 +55,25 @@ class BnbOptions:
     relative_gap: float = 1e-6
     absolute_gap: float = 1e-9
     lp_engine: str = "auto"
+    warm_start: bool = True  # parent-basis warm starts + incumbent seeding
 
 
 class _Node:
-    """A branch-and-bound node: variable bounds plus the parent LP bound."""
+    """A branch-and-bound node: variable bounds, parent bound, parent basis."""
 
-    __slots__ = ("lower", "upper", "bound")
+    __slots__ = ("lower", "upper", "bound", "basis")
 
-    def __init__(self, lower: np.ndarray, upper: np.ndarray, bound: float) -> None:
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        bound: float,
+        basis: Optional[SimplexBasis] = None,
+    ) -> None:
         self.lower = lower
         self.upper = upper
         self.bound = bound
+        self.basis = basis
 
 
 def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> int:
@@ -61,7 +82,6 @@ def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> int:
     best_score = _INT_TOL
     for i in np.nonzero(integrality > 0.5)[0]:
         frac = abs(x[i] - round(x[i]))
-        score = min(frac, 1.0 - frac) if frac <= 0.5 else min(1.0 - frac, frac)
         score = 0.5 - abs(frac - 0.5)
         if score > best_score:
             best_score = score
@@ -77,23 +97,61 @@ def _round_integievable(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
     return rounded
 
 
+def _seed_incumbent(model: Model, form: StandardForm) -> Optional[np.ndarray]:
+    """Turn the model's warm-start hint into a feasible incumbent, if it is one.
+
+    The hint may be partial: missing variables default to their lower bound.
+    Returns the standard-form vector or ``None`` when the hint is absent or
+    infeasible (bounds, integrality or any constraint violated).
+    """
+    hint = model.warm_start
+    if not hint:
+        return None
+    x = np.where(np.isfinite(form.lower), form.lower, 0.0)
+    for var, value in hint.items():
+        try:
+            x[form.index_of(var)] = float(value)
+        except KeyError:
+            return None  # hint refers to a variable of another model
+    x = _round_integievable(x, form.integrality)
+    if np.any(x < form.lower - _FEAS_TOL) or np.any(x > form.upper + _FEAS_TOL):
+        return None
+    if form.a_ub.shape[0] and np.any(form.a_ub.matvec(x) > form.b_ub + _FEAS_TOL):
+        return None
+    if form.a_eq.shape[0] and np.any(np.abs(form.a_eq.matvec(x) - form.b_eq) > _FEAS_TOL):
+        return None
+    return x
+
+
 def solve_branch_and_bound(model: Model, options: Optional[BnbOptions] = None) -> SolveResult:
     """Solve ``model`` with branch and bound and return the best incumbent."""
     options = options or BnbOptions()
     deadline = Deadline(options.time_limit)
     form = to_standard_form(model)
-    result = _search(form, options, deadline)
+    result = _search(model, form, options, deadline)
     result.backend = "branch_and_bound"
     result.solve_time = deadline.elapsed()
     return result
 
 
-def _search(form: StandardForm, options: BnbOptions, deadline: Deadline) -> SolveResult:
+def _search(
+    model: Model, form: StandardForm, options: BnbOptions, deadline: Deadline
+) -> SolveResult:
     c, a_ub, b_ub, a_eq, b_eq = form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq
     integrality = form.integrality
 
-    def lp(lower: np.ndarray, upper: np.ndarray):
-        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper, engine=options.lp_engine)
+    def lp(lower: np.ndarray, upper: np.ndarray, warm: Optional[SimplexBasis] = None):
+        return solve_lp(
+            c,
+            a_ub,
+            b_ub,
+            a_eq,
+            b_eq,
+            lower,
+            upper,
+            engine=options.lp_engine,
+            warm_basis=warm if options.warm_start else None,
+        )
 
     root = lp(form.lower, form.upper)
     if root.status == "infeasible":
@@ -103,18 +161,46 @@ def _search(form: StandardForm, options: BnbOptions, deadline: Deadline) -> Solv
     if not root.is_optimal:
         return SolveResult(SolveStatus.ERROR)
 
+    # Only the most recent solution keeps its basis *inverse* (so the next
+    # node — usually a child of the node just solved — warm-starts without
+    # refactorising).  Older bases are stripped to bound memory at one
+    # m x m matrix regardless of heap size.
+    hot_basis = root.basis
+
+    def retire_hot(new_basis) -> None:
+        nonlocal hot_basis
+        if new_basis is None:
+            return
+        if hot_basis is not None and hot_basis is not new_basis:
+            hot_basis.binv = None
+        hot_basis = new_basis
+
     incumbent_x: Optional[np.ndarray] = None
     incumbent_obj = math.inf  # in minimisation space
+    if options.warm_start:
+        seeded = _seed_incumbent(model, form)
+        if seeded is not None:
+            incumbent_x = seeded
+            incumbent_obj = float(c @ seeded)
     best_bound = root.objective if root.objective is not None else -math.inf
 
     counter = itertools.count()
     heap: List[Tuple[float, int, _Node]] = []
     heapq.heappush(
-        heap, (root.objective, next(counter), _Node(form.lower.copy(), form.upper.copy(), root.objective))
+        heap,
+        (
+            root.objective,
+            next(counter),
+            _Node(form.lower.copy(), form.upper.copy(), root.objective, root.basis),
+        ),
     )
     nodes_processed = 0
     hit_limit = False
     gap_closed = False
+    # A node LP that fails for numerical reasons (iteration limit, singular
+    # refactorisation) silently drops its subtree; remember that so the
+    # final incumbent is never over-claimed as proven OPTIMAL.
+    subtree_lost = False
 
     while heap:
         if deadline.expired() or nodes_processed >= options.node_limit:
@@ -127,9 +213,12 @@ def _search(form: StandardForm, options: BnbOptions, deadline: Deadline) -> Solv
             if gap <= options.absolute_gap or gap <= options.relative_gap * max(1.0, abs(incumbent_obj)):
                 gap_closed = True
                 break
-        relaxation = lp(node.lower, node.upper)
+        relaxation = lp(node.lower, node.upper, warm=node.basis)
         nodes_processed += 1
+        retire_hot(relaxation.basis)
         if not relaxation.is_optimal:
+            if relaxation.status != "infeasible":
+                subtree_lost = True
             continue
         if relaxation.objective is None or relaxation.objective >= incumbent_obj - options.absolute_gap:
             continue
@@ -150,24 +239,37 @@ def _search(form: StandardForm, options: BnbOptions, deadline: Deadline) -> Solv
             lower_d, upper_d = node.lower.copy(), node.upper.copy()
             upper_d[branch_var] = floor_val
             heapq.heappush(
-                heap, (relaxation.objective, next(counter), _Node(lower_d, upper_d, relaxation.objective))
+                heap,
+                (
+                    relaxation.objective,
+                    next(counter),
+                    _Node(lower_d, upper_d, relaxation.objective, relaxation.basis),
+                ),
             )
         # Up branch: lower bound <- ceil.
         if ceil_val <= node.upper[branch_var] + _INT_TOL:
             lower_u, upper_u = node.lower.copy(), node.upper.copy()
             lower_u[branch_var] = ceil_val
             heapq.heappush(
-                heap, (relaxation.objective, next(counter), _Node(lower_u, upper_u, relaxation.objective))
+                heap,
+                (
+                    relaxation.objective,
+                    next(counter),
+                    _Node(lower_u, upper_u, relaxation.objective, relaxation.basis),
+                ),
             )
 
     if incumbent_x is None:
-        if hit_limit:
+        if hit_limit or subtree_lost:
+            # Without a full tree walk there is no infeasibility proof.
             return SolveResult(SolveStatus.TIMEOUT, nodes=nodes_processed)
         return SolveResult(SolveStatus.INFEASIBLE, nodes=nodes_processed)
 
     # The incumbent is optimal when the search tree was exhausted or the
-    # best remaining bound came within the configured gap of the incumbent.
-    if gap_closed or (not heap and not hit_limit):
+    # best remaining bound came within the configured gap of the incumbent —
+    # unless a subtree was lost to an LP failure, in which case the proof
+    # does not cover the whole tree.
+    if not subtree_lost and (gap_closed or (not heap and not hit_limit)):
         status = SolveStatus.OPTIMAL
     else:
         status = SolveStatus.FEASIBLE

@@ -1,9 +1,18 @@
-"""LP relaxation solving, dispatching to scipy (HiGHS) or the in-repo simplex.
+"""LP relaxation solving, dispatching to scipy (HiGHS) or the in-repo engines.
 
 The branch-and-bound solver only needs the answer to one question per node:
 "what is the optimum of this LP (with these bounds)?".  This module hides
-whether that answer comes from ``scipy.optimize.linprog`` or from the pure
-Python simplex in :mod:`repro.milp.simplex`.
+whether that answer comes from ``scipy.optimize.linprog``, the vectorized
+sparse revised simplex in :mod:`repro.milp.simplex`, or the dense reference
+tableau in :mod:`repro.milp.dense_simplex`.
+
+Constraint matrices may be passed as
+:class:`~repro.milp.sparse.CsrMatrix` (what
+:func:`repro.milp.standard_form.to_standard_form` now produces) or as dense
+arrays; each engine receives the layout it can consume.  ``warm_basis``
+carries a :class:`~repro.milp.simplex.SimplexBasis` from a previous solve
+of the same system — only the sparse simplex engine uses it, the others
+silently ignore it.
 """
 
 from __future__ import annotations
@@ -13,12 +22,21 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.milp.simplex import LpSolution, solve_lp_simplex
+from repro.milp.dense_simplex import solve_lp_dense
+from repro.milp.simplex import LpSolution, SimplexBasis, solve_lp_simplex
+from repro.milp.sparse import CsrMatrix, as_csr
 
 try:  # pragma: no cover - exercised implicitly depending on environment
     from scipy.optimize import linprog as _scipy_linprog
 except ImportError:  # pragma: no cover
     _scipy_linprog = None
+
+try:  # pragma: no cover - optional, used to hand scipy sparse matrices
+    from scipy.sparse import csr_matrix as _scipy_csr
+except ImportError:  # pragma: no cover
+    _scipy_csr = None
+
+_ENGINES = ("auto", "scipy", "simplex", "dense")
 
 
 def scipy_available() -> bool:
@@ -28,40 +46,64 @@ def scipy_available() -> bool:
 
 def solve_lp(
     c: np.ndarray,
-    a_ub: np.ndarray,
+    a_ub,
     b_ub: np.ndarray,
-    a_eq: np.ndarray,
+    a_eq,
     b_eq: np.ndarray,
     lower: np.ndarray,
     upper: np.ndarray,
     engine: str = "auto",
+    warm_basis: Optional[SimplexBasis] = None,
 ) -> LpSolution:
     """Minimise ``c @ x`` subject to the given system.
 
     Parameters
     ----------
     engine:
-        ``"auto"`` (scipy when importable, else simplex), ``"scipy"`` or
-        ``"simplex"``.
+        ``"auto"`` (scipy when importable, else the sparse simplex),
+        ``"scipy"``, ``"simplex"`` (sparse revised simplex, supports
+        ``warm_basis``) or ``"dense"`` (the seed repository's dense tableau,
+        kept as a reference/benchmark baseline).
+    warm_basis:
+        Optional :class:`SimplexBasis` from a previous solve of the same
+        system; used by the ``simplex`` engine only.
     """
-    if engine not in ("auto", "scipy", "simplex"):
+    if engine not in _ENGINES:
         raise SolverError(f"unknown LP engine {engine!r}")
-    use_scipy = engine == "scipy" or (engine == "auto" and scipy_available())
     if engine == "scipy" and not scipy_available():
         raise SolverError("scipy LP engine requested but scipy is not installed")
+    use_scipy = engine == "scipy" or (engine == "auto" and scipy_available())
     if use_scipy:
         return _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
-    return solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+    if engine == "dense":
+        n = len(c)
+        a_ub = a_ub.toarray() if isinstance(a_ub, CsrMatrix) else np.asarray(a_ub, dtype=float)
+        a_eq = a_eq.toarray() if isinstance(a_eq, CsrMatrix) else np.asarray(a_eq, dtype=float)
+        return solve_lp_dense(c, a_ub.reshape(-1, n), b_ub, a_eq.reshape(-1, n), b_eq, lower, upper)
+    return solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper, warm_basis=warm_basis)
+
+
+def _to_scipy_matrix(matrix, num_cols: int):
+    """Convert to something ``linprog`` accepts, staying sparse when possible."""
+    csr = as_csr(matrix, num_cols)
+    if csr.shape[0] == 0:
+        return None
+    if _scipy_csr is not None:
+        return _scipy_csr(csr.tocsr_arrays(), shape=csr.shape)
+    return csr.toarray()
 
 
 def _solve_with_scipy(c, a_ub, b_ub, a_eq, b_eq, lower, upper) -> LpSolution:
+    n = len(c)
     bounds = list(zip(lower, [u if np.isfinite(u) else None for u in upper]))
+    a_ub_mat = _to_scipy_matrix(a_ub, n)
+    a_eq_mat = _to_scipy_matrix(a_eq, n)
     result = _scipy_linprog(
         c,
-        A_ub=a_ub if np.size(a_ub) else None,
-        b_ub=b_ub if np.size(b_ub) else None,
-        A_eq=a_eq if np.size(a_eq) else None,
-        b_eq=b_eq if np.size(b_eq) else None,
+        A_ub=a_ub_mat,
+        b_ub=b_ub if a_ub_mat is not None else None,
+        A_eq=a_eq_mat,
+        b_eq=b_eq if a_eq_mat is not None else None,
         bounds=bounds,
         method="highs",
     )

@@ -45,6 +45,21 @@ class Model:
         self._objective: LinExpr = LinExpr()
         self._fixed_values: Dict[Variable, float] = {}
         self._warm_start: Dict[Variable, float] = {}
+        self._revision = 0
+
+    # ------------------------------------------------------------------ revision
+    @property
+    def revision(self) -> int:
+        """Monotonic counter bumped on every structural modification.
+
+        Consumers that lower the model (``to_standard_form``) cache per
+        revision, so repeated solves of an unchanged model skip re-lowering.
+        The warm-start hint is *not* structural and does not bump it.
+        """
+        return self._revision
+
+    def _bump_revision(self) -> None:
+        self._revision += 1
 
     # ------------------------------------------------------------------ variables
     def add_var(
@@ -63,6 +78,7 @@ class Model:
         var = Variable(name, var_type, lower, upper, index=len(self._variables))
         self._variables.append(var)
         self._by_name[name] = var
+        self._bump_revision()
         return var
 
     def add_binary(self, name: str) -> Variable:
@@ -116,6 +132,7 @@ class Model:
         if name is not None:
             constraint.name = name
         self._constraints.append(constraint)
+        self._bump_revision()
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> List[Constraint]:
@@ -148,6 +165,7 @@ class Model:
         self._objective = expr
         if sense is not None:
             self.sense = sense
+        self._bump_revision()
 
     @property
     def objective(self) -> LinExpr:
@@ -172,6 +190,7 @@ class Model:
         if var.is_integer and abs(value - round(value)) > 1e-9:
             raise ModelError(f"cannot fix integer variable {var.name!r} to {value}")
         self._fixed_values[var] = value
+        self._bump_revision()
 
     @property
     def fixed_values(self) -> Mapping[Variable, float]:

@@ -19,10 +19,12 @@ from repro.utils.timer import Stopwatch
 
 try:  # pragma: no cover - depends on environment
     from scipy.optimize import Bounds, LinearConstraint, milp as _scipy_milp
+    from scipy.sparse import csr_matrix as _scipy_csr
 except ImportError:  # pragma: no cover
     _scipy_milp = None
     Bounds = None
     LinearConstraint = None
+    _scipy_csr = None
 
 
 def highs_available() -> bool:
@@ -42,11 +44,18 @@ def solve_with_highs(
     watch = Stopwatch()
     form = to_standard_form(model)
 
+    # Hand HiGHS the CSR arrays directly — SQPR models are large and sparse,
+    # so densifying them here would dominate the solve's memory footprint.
+    def _matrix(block):
+        if _scipy_csr is not None:
+            return _scipy_csr(block.tocsr_arrays(), shape=block.shape)
+        return block.toarray()
+
     constraints = []
     if form.a_ub.size:
-        constraints.append(LinearConstraint(form.a_ub, -np.inf, form.b_ub))
+        constraints.append(LinearConstraint(_matrix(form.a_ub), -np.inf, form.b_ub))
     if form.a_eq.size:
-        constraints.append(LinearConstraint(form.a_eq, form.b_eq, form.b_eq))
+        constraints.append(LinearConstraint(_matrix(form.a_eq), form.b_eq, form.b_eq))
 
     bounds = Bounds(form.lower, form.upper)
     options = {"presolve": True, "mip_rel_gap": mip_rel_gap}

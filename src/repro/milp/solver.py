@@ -44,11 +44,16 @@ class MilpSolver:
         This models the per-query CPLEX timeout in the paper.
     mip_gap:
         Relative optimality gap at which the search may stop.
+    warm_start:
+        Let the branch-and-bound backend seed its incumbent from the
+        model's warm-start hint and re-start child-node LPs from the parent
+        basis.  HiGHS ignores this (scipy exposes no warm-start API).
     """
 
     backend: SolverBackend = SolverBackend.AUTO
     time_limit: Optional[float] = None
     mip_gap: float = 1e-6
+    warm_start: bool = True
 
     def resolved_backend(self) -> SolverBackend:
         """The concrete backend that will be used for the next solve."""
@@ -69,7 +74,9 @@ class MilpSolver:
             if not highs_available():
                 raise SolverError("HiGHS backend requested but scipy.optimize.milp is missing")
             return solve_with_highs(model, time_limit=limit, mip_rel_gap=self.mip_gap)
-        options = BnbOptions(time_limit=limit, relative_gap=self.mip_gap)
+        options = BnbOptions(
+            time_limit=limit, relative_gap=self.mip_gap, warm_start=self.warm_start
+        )
         return solve_branch_and_bound(model, options)
 
     def is_usable_status(self, result: SolveResult) -> bool:

@@ -1,4 +1,4 @@
-"""Lowering a :class:`~repro.milp.model.Model` to matrix standard form.
+"""Lowering a :class:`~repro.milp.model.Model` to sparse matrix standard form.
 
 The standard form produced here matches the conventions of
 ``scipy.optimize.linprog``/``milp``:
@@ -9,15 +9,31 @@ The standard form produced here matches the conventions of
 * ``lb <= x <= ub``
 * ``integrality[i] == 1`` marks integer variables.
 
+``A_ub``/``A_eq`` are :class:`~repro.milp.sparse.CsrMatrix` — SQPR models
+are a few non-zeros per row across thousands of columns, and the fig. 5
+scale experiments made dense lowering the dominant memory cost.  Callers
+that need dense blocks use ``.toarray()``; dimension probes (``.shape``,
+``.size``) behave like ``ndarray``.
+
 Maximisation models are lowered by negating ``c``; callers use
 :attr:`StandardForm.objective_sign` and :attr:`StandardForm.objective_offset`
 to translate optimal values back to the model's original objective.
+
+Lowering is cached per model revision: :func:`to_standard_form` returns the
+same :class:`StandardForm` until the model is structurally modified (see
+:attr:`Model.revision`; the objective sense is part of the cache key too).
+The two-stage planner, the branch-and-bound solver and warm-start
+feasibility checks all lower the same model, so the cache removes repeated
+O(nnz) passes from the planning hot path.  Mutating ``Variable.lower`` /
+``Variable.upper`` directly after a solve bypasses the revision counter —
+use :meth:`Model.fix_var` (or rebuild the model), which invalidates the
+cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -25,17 +41,24 @@ from repro.exceptions import ModelError
 from repro.milp.constraint import ConstraintSense
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.expression import Variable
+from repro.milp.sparse import CsrMatrix
 
 
 @dataclass
 class StandardForm:
-    """Matrix representation of a model, plus bookkeeping to map back."""
+    """Matrix representation of a model, plus bookkeeping to map back.
+
+    Instances are shared: :func:`to_standard_form` returns the same object
+    for every call at the same model revision, so treat all fields as
+    read-only.  Solvers that tighten bounds (branch and bound) must work on
+    copies of ``lower``/``upper``, never mutate them in place.
+    """
 
     variables: List[Variable]
     c: np.ndarray
-    a_ub: np.ndarray
+    a_ub: CsrMatrix
     b_ub: np.ndarray
-    a_eq: np.ndarray
+    a_eq: CsrMatrix
     b_eq: np.ndarray
     lower: np.ndarray
     upper: np.ndarray
@@ -64,13 +87,22 @@ class StandardForm:
         """Build a variable->value mapping from a solution vector."""
         return {var: float(x[i]) for i, var in enumerate(self.variables)}
 
-
 def to_standard_form(model: Model) -> StandardForm:
-    """Lower ``model`` to :class:`StandardForm`.
+    """Lower ``model`` to :class:`StandardForm` (cached per model revision).
 
     Fixed variables (see :meth:`Model.fix_var`) are lowered as equal lower and
     upper bounds so that all backends honour them uniformly.
     """
+    cached = getattr(model, "_form_cache", None)
+    cache_key = (model.revision, model.sense)
+    if cached is not None and cached[0] == cache_key:
+        return cached[1]
+    form = _lower(model)
+    model._form_cache = (cache_key, form)
+    return form
+
+
+def _lower(model: Model) -> StandardForm:
     variables = model.variables
     if not variables:
         raise ModelError("cannot lower a model with no variables")
@@ -84,29 +116,29 @@ def to_standard_form(model: Model) -> StandardForm:
         c[index[var]] = sign * coeff
     offset = model.objective.constant
 
-    ub_rows: List[np.ndarray] = []
+    ub_rows: List = []
     ub_rhs: List[float] = []
-    eq_rows: List[np.ndarray] = []
+    eq_rows: List = []
     eq_rhs: List[float] = []
 
     for constraint in model.constraints:
-        row = np.zeros(n)
-        for var, coeff in constraint.lhs_terms.items():
-            row[index[var]] += coeff
+        terms = constraint.lhs_terms
+        cols = np.fromiter((index[var] for var in terms), dtype=np.int64, count=len(terms))
+        vals = np.fromiter(terms.values(), dtype=float, count=len(terms))
         rhs = constraint.rhs
         if constraint.sense is ConstraintSense.LE:
-            ub_rows.append(row)
+            ub_rows.append((cols, vals))
             ub_rhs.append(rhs)
         elif constraint.sense is ConstraintSense.GE:
-            ub_rows.append(-row)
+            ub_rows.append((cols, -vals))
             ub_rhs.append(-rhs)
         else:
-            eq_rows.append(row)
+            eq_rows.append((cols, vals))
             eq_rhs.append(rhs)
 
-    a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+    a_ub = CsrMatrix.from_rows(ub_rows, n) if ub_rows else CsrMatrix.empty(n)
     b_ub = np.asarray(ub_rhs, dtype=float)
-    a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+    a_eq = CsrMatrix.from_rows(eq_rows, n) if eq_rows else CsrMatrix.empty(n)
     b_eq = np.asarray(eq_rhs, dtype=float)
 
     lower = np.zeros(n)
