@@ -66,9 +66,20 @@ from repro.workloads.scenarios import (
     build_cluster_scenario,
     build_simulation_scenario,
 )
+from repro.workloads.churn import (
+    CHURN_SCENARIOS,
+    ChurnTraceConfig,
+    build_churn_schedule,
+    build_named_churn_schedule,
+)
+from repro.sim import (
+    EventSchedule,
+    SimulationHarness,
+    SimulationResult,
+)
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # unified planner API
@@ -113,6 +124,15 @@ __all__ = [
     "build_cluster_scenario",
     "AdmissionCurve",
     "run_admission_experiment",
+    # churn simulation
+    "CHURN_SCENARIOS",
+    "ChurnTraceConfig",
+    "build_churn_schedule",
+    "build_named_churn_schedule",
+    "EventSchedule",
+    "SimulationHarness",
+    "SimulationResult",
+    "run_churn_experiment",
     "__version__",
 ]
 
@@ -120,6 +140,18 @@ __all__ = [
 #: :class:`PlanningOutcome` (planner-specific fields moved to ``extras``).
 from repro.api.base import deprecated_outcome_getattr as _deprecated_outcome_getattr
 
-__getattr__ = _deprecated_outcome_getattr(
+_outcome_getattr = _deprecated_outcome_getattr(
     __name__, ("HeuristicOutcome", "SodaOutcome", "OptimisticOutcome")
 )
+
+
+def __getattr__(name):
+    # run_churn_experiment is resolved lazily so that running the module
+    # `python -m repro.experiments.timeline` does not import timeline as a
+    # side effect of importing the repro package (runpy would then execute
+    # the module body twice and warn).
+    if name == "run_churn_experiment":
+        from repro.experiments.timeline import run_churn_experiment
+
+        return run_churn_experiment
+    return _outcome_getattr(name)

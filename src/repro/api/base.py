@@ -7,6 +7,10 @@ bound — implements the :class:`Planner` abstract base class:
 * ``submit(query)`` plans one query and returns a :class:`PlanningOutcome`,
 * ``submit_batch(items)`` plans a group (a batch for SQPR, an epoch for
   SODA, a loop of single submissions otherwise),
+* ``retire(query_id)`` removes an admitted query again (a client leaving),
+  garbage-collecting the structures only it needed,
+* ``on_topology_change()`` lets a planner react to hosts failing, joining
+  or recovering (cache invalidation, capacity re-accounting),
 * ``reset()`` returns the planner to its freshly-constructed state,
 * the :class:`PlannerStats` mixin provides ``num_admitted`` /
   ``num_submitted`` / ``admission_rate()`` / ``average_planning_time()``,
@@ -29,6 +33,7 @@ from typing import (
     Callable,
     ClassVar,
     Dict,
+    FrozenSet,
     List,
     Optional,
     Sequence,
@@ -320,6 +325,60 @@ class Planner(PlannerStats, ABC):
     ) -> List[PlanningOutcome]:
         """Plan a group of queries; by default one at a time, in order."""
         return [self.submit(query) for query in queries]
+
+    @property
+    def active_queries(self) -> FrozenSet[int]:
+        """Ids of the queries currently admitted (shrinks on retirement).
+
+        Unlike :attr:`PlannerStats.num_admitted` — which for planners
+        without a live allocation counts admitted *outcomes* cumulatively —
+        this is always the current set, which is what churn simulations
+        chart over time.
+        """
+        if self.allocation is not None:
+            return frozenset(self.allocation.admitted_queries)
+        raise PlanningError(
+            f"planner {self.name!r} keeps no live allocation; "
+            "it must override active_queries"
+        )
+
+    def retire(self, query_id: int) -> bool:
+        """Remove an admitted query from the system (the query *departs*).
+
+        Returns ``True`` when the query was admitted and has now been
+        removed, ``False`` when it was not admitted (never submitted,
+        rejected, or already retired) — retiring is idempotent.
+
+        The default implementation serves every planner that maintains a
+        live :class:`~repro.dsps.allocation.Allocation`: the query leaves
+        the admitted set and the allocation is garbage-collected down to
+        what the surviving queries still need
+        (:meth:`Allocation.without_queries`, built on
+        :func:`repro.dsps.plan.rebuild_minimal_allocation`).  Stateful
+        planners without an allocation must override this.
+        """
+        if self.allocation is None:
+            raise PlanningError(
+                f"planner {self.name!r} keeps no live allocation; "
+                "it must override retire()"
+            )
+        if query_id not in self.allocation.admitted_queries:
+            return False
+        self.allocation = self.allocation.without_queries([query_id])
+        return True
+
+    def on_topology_change(self) -> List[int]:
+        """React to hosts failing, joining or recovering.
+
+        Called by :class:`repro.dsps.engine.ClusterEngine` users (notably
+        the simulation harness) after the catalog's active host set changed.
+        Returns the ids of admitted queries the *planner itself* had to drop
+        because of the change — non-empty only for planners that track
+        aggregate capacity instead of placements (the optimistic bound);
+        placement-level eviction is the engine's job.  The default is a
+        no-op returning an empty list.
+        """
+        return []
 
     def reset(self) -> None:
         """Forget all outcomes and return to an empty-system state.

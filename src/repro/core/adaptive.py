@@ -17,12 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.core.planner import PlanningOutcome, SQPRPlanner
+from repro.api.base import Planner, PlanningOutcome
 from repro.dsps.allocation import Allocation
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.plan import extract_plan, rebuild_minimal_allocation
 from repro.dsps.resource_monitor import ResourceMonitor
-from repro.exceptions import PlanError
+from repro.exceptions import PlanError, PlanningError
 
 
 def garbage_collect(catalog: SystemCatalog, allocation: Allocation) -> Allocation:
@@ -51,14 +51,26 @@ class ReplanReport:
 
 
 class AdaptiveReplanner:
-    """Drives adaptive re-planning on top of an :class:`SQPRPlanner`."""
+    """Drives adaptive re-planning on top of any allocation-keeping planner.
+
+    Historically bound to :class:`~repro.core.planner.SQPRPlanner`, the
+    replanner only relies on the :class:`~repro.api.Planner` protocol — a
+    live allocation, ``submit`` and the replan hook — so the heuristic and
+    SODA baselines can be driven through churn simulations with the same
+    re-planning loop.
+    """
 
     def __init__(
         self,
-        planner: SQPRPlanner,
+        planner: Planner,
         monitor: ResourceMonitor,
         drift_threshold: float = 0.1,
     ) -> None:
+        if planner.allocation is None:
+            raise PlanningError(
+                "AdaptiveReplanner needs a planner with a live allocation; "
+                f"{planner.name!r} keeps none"
+            )
         self.planner = planner
         self.monitor = monitor
         self.drift_threshold = drift_threshold
@@ -86,6 +98,19 @@ class AdaptiveReplanner:
                 victims.add(query_id)
         return sorted(victims)
 
+    def maybe_replan(self, min_victims: int = 1) -> Optional[ReplanReport]:
+        """Run one re-planning round only when enough victims exist.
+
+        This is the event-driven entry point used by the simulation
+        harness's periodic replan ticks: a tick with nothing to do costs one
+        victim scan and produces no report (returns ``None``), so replan
+        hooks only fire for rounds that actually moved queries.
+        """
+        victims = self.queries_needing_replan()
+        if len(victims) < max(1, min_victims):
+            return None
+        return self.replan(victims)
+
     # --------------------------------------------------------------- replanning
     def replan(self, victim_ids: Optional[Iterable[int]] = None) -> ReplanReport:
         """Remove the victims, garbage-collect and re-admit them one by one."""
@@ -99,19 +124,9 @@ class AdaptiveReplanner:
             self.planner._notify_replan(report)
             return report
 
-        # Step 1: conceptually remove the victims from the system.
-        allocation.admitted_queries -= set(victims)
-        for victim in victims:
-            query = catalog.get_query(victim)
-            still_wanted = any(
-                catalog.get_query(qid).result_stream == query.result_stream
-                for qid in allocation.admitted_queries
-            )
-            if not still_wanted:
-                allocation.provided.pop(query.result_stream, None)
-
-        # Step 2: drop structures no surviving query needs.
-        self.planner.allocation = garbage_collect(catalog, allocation)
+        # Steps 1 + 2: remove the victims from the system and drop the
+        # structures no surviving query needs (shared with Planner.retire).
+        self.planner.allocation = allocation.without_queries(victims)
 
         # Step 3: re-add the victims through the normal planning path.
         for victim in victims:

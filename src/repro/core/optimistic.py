@@ -15,7 +15,7 @@ the aggregate CPU budget allows it.
 
 from __future__ import annotations
 
-from typing import Optional, Set, Union
+from typing import FrozenSet, List, Optional, Set, Union
 
 from repro.api.base import (
     Planner,
@@ -47,6 +47,7 @@ class OptimisticBoundPlanner(Planner):
         self.cpu_used = 0.0
         self._produced_streams: Set[int] = set()
         self._admitted_results: Set[int] = set()
+        self._admitted_order: List[int] = []
 
     def reset(self) -> None:
         """Forget all outcomes and release the aggregate CPU budget."""
@@ -54,6 +55,66 @@ class OptimisticBoundPlanner(Planner):
         self.cpu_used = 0.0
         self._produced_streams.clear()
         self._admitted_results.clear()
+        self._admitted_order.clear()
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def active_queries(self) -> FrozenSet[int]:
+        """Ids of the queries currently counted against the aggregate budget."""
+        return frozenset(self._admitted_order)
+
+    def retire(self, query_id: int) -> bool:
+        """Remove an admitted query and replay the survivors from scratch.
+
+        The bound's state (produced streams, consumed CPU) is the result of
+        order-dependent greedy accounting, so the only faithful way to
+        release exactly what the departing query paid for — and nothing a
+        surviving query still relies on — is to replay the surviving
+        queries in their original admission order.  The replayed state is
+        identical to submitting only the survivors, which is the invariant
+        the property-based churn tests pin down.
+        """
+        if query_id not in self._admitted_order:
+            return False
+        survivors = [qid for qid in self._admitted_order if qid != query_id]
+        self._replay(survivors)
+        return True
+
+    def on_topology_change(self) -> List[int]:
+        """Re-read the aggregate capacity; drop queries that no longer fit.
+
+        A host failure shrinks the aggregate host.  Replaying the admitted
+        queries in order under the new budget keeps the earliest-admitted
+        prefix that still fits (mirroring the engine's eviction of concrete
+        placements) and reports the dropped ids.
+        """
+        self.cpu_capacity = self.catalog.total_cpu_capacity()
+        return self._replay(list(self._admitted_order))
+
+    def _replay(self, query_ids: List[int]) -> List[int]:
+        """Rebuild the aggregate accounting by re-admitting ``query_ids`` in
+        order; returns the ids that no longer fit the budget."""
+        self.cpu_used = 0.0
+        self._produced_streams.clear()
+        self._admitted_results.clear()
+        self._admitted_order = []
+        dropped: List[int] = []
+        for query_id in query_ids:
+            query = self.catalog.get_query(query_id)
+            if query.result_stream in self._admitted_results:
+                self._admitted_order.append(query_id)
+                continue
+            marginal_cpu, operators = self._cheapest_plan_cost(query)
+            if self.cpu_used + marginal_cpu > self.cpu_capacity + 1e-9:
+                dropped.append(query_id)
+                continue
+            self.cpu_used += marginal_cpu
+            self._admitted_results.add(query.result_stream)
+            for operator_id in operators:
+                operator = self.catalog.get_operator(operator_id)
+                self._produced_streams.add(operator.output_stream)
+            self._admitted_order.append(query_id)
+        return dropped
 
     def _cheapest_plan_cost(self, query: Query) -> tuple:
         """CPU cost and operator set of the cheapest plan with full reuse.
@@ -106,6 +167,8 @@ class OptimisticBoundPlanner(Planner):
         watch = Stopwatch()
         query = self._resolve_query(query)
         if query.result_stream in self._admitted_results:
+            if query.query_id not in self._admitted_order:
+                self._admitted_order.append(query.query_id)
             outcome = PlanningOutcome(
                 query=query,
                 admitted=True,
@@ -119,6 +182,7 @@ class OptimisticBoundPlanner(Planner):
         if admitted:
             self.cpu_used += marginal_cpu
             self._admitted_results.add(query.result_stream)
+            self._admitted_order.append(query.query_id)
             # Mark every intermediate stream of the chosen plan as produced.
             for operator_id in operators:
                 operator = self.catalog.get_operator(operator_id)

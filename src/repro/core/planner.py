@@ -74,6 +74,19 @@ class SQPRPlanner(Planner):
         self._reuse_cache.clear()
         self._last_values = {}
 
+    def on_topology_change(self) -> List[int]:
+        """Invalidate solver-layer caches after hosts failed or joined.
+
+        The reuse-cache key covers the active host set, so stale hits are
+        impossible either way; dropping the entries and the warm-start hint
+        just frees models and variable values built for a topology that no
+        longer exists.  SQPR never drops queries here — placement-level
+        eviction happens in the engine.
+        """
+        self._reuse_cache.clear()
+        self._last_values = {}
+        return []
+
     @property
     def reuse_stats(self) -> Dict[str, int]:
         """Model-reuse cache counters (hits/misses) for this planner."""

@@ -201,11 +201,67 @@ class Allocation:
         """Mark a query as admitted."""
         self.admitted_queries.add(query_id)
 
+    def without_queries(self, query_ids: Iterable[int]) -> "Allocation":
+        """A new allocation with ``query_ids`` removed and garbage-collected.
+
+        This is §IV-B's "considering the system without those queries": the
+        queries leave the admitted set, their result streams stop being
+        provided unless another admitted query still requests them, and the
+        remainder is rebuilt down to the structures the surviving queries
+        actually need (via
+        :func:`repro.dsps.plan.rebuild_minimal_allocation`).  The result is
+        a subset of ``self``, so it cannot violate resource capacities this
+        allocation satisfied.  ``self`` is left untouched.
+        """
+        from repro.dsps.plan import rebuild_minimal_allocation  # avoid a cycle
+
+        removed = set(query_ids) & self.admitted_queries
+        if not removed:
+            return self.copy()
+        shrunk = self.copy()
+        shrunk.admitted_queries -= removed
+        for query_id in removed:
+            query = self.catalog.get_query(query_id)
+            still_wanted = any(
+                self.catalog.get_query(qid).result_stream == query.result_stream
+                for qid in shrunk.admitted_queries
+            )
+            if not still_wanted:
+                shrunk.provided.pop(query.result_stream, None)
+        return rebuild_minimal_allocation(self.catalog, shrunk)
+
     # -------------------------------------------------------------- validation
     def validate(self, tol: float = 1e-6) -> List[str]:
         """Check the allocation against all model constraints; list violations."""
         violations: List[str] = []
         catalog = self.catalog
+
+        # Liveness: nothing may run on, flow through or be served from a host
+        # that is currently offline (a failed host has no resources at all).
+        offline = set(catalog.hosts.offline_ids)
+        if offline:
+            for host, operator_id in self.placements:
+                if host in offline:
+                    violations.append(
+                        f"liveness: operator {operator_id} placed on offline host {host}"
+                    )
+            for src, dst, stream_id in self.flows:
+                if src in offline or dst in offline:
+                    violations.append(
+                        f"liveness: flow {src}->{dst} of stream {stream_id} "
+                        f"touches an offline host"
+                    )
+            for stream_id, host in self.provided.items():
+                if host in offline:
+                    violations.append(
+                        f"liveness: stream {stream_id} provided from offline host {host}"
+                    )
+            for host, stream_id in self.available:
+                if host in offline:
+                    violations.append(
+                        f"liveness: stream {stream_id} marked available at "
+                        f"offline host {host}"
+                    )
 
         # Demand constraints (III.4): provided streams must be requested and
         # available at the providing host.

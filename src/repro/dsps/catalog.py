@@ -73,13 +73,32 @@ class SystemCatalog:
 
     @property
     def num_hosts(self) -> int:
-        """Number of hosts."""
+        """Number of registered hosts (online or not; ids stay dense)."""
         return len(self.hosts)
 
     @property
     def host_ids(self) -> List[int]:
-        """All host ids in order."""
+        """Active host ids in order.
+
+        Every placement decision in the library iterates this view, so
+        deactivating a host removes it from consideration by all planners
+        at once.
+        """
         return self.hosts.ids
+
+    # ------------------------------------------------------------ host lifecycle
+    def deactivate_host(self, host_id: int) -> None:
+        """Take a host offline (a failure): planners stop seeing it and base
+        streams injected there become unavailable until reactivation."""
+        self.hosts.deactivate(host_id)
+
+    def activate_host(self, host_id: int) -> None:
+        """Bring a failed host back online (a host join/recovery)."""
+        self.hosts.activate(host_id)
+
+    def is_host_active(self, host_id: int) -> bool:
+        """Whether ``host_id`` is currently online."""
+        return self.hosts.is_active(host_id)
 
     # ---------------------------------------------------------------- topology
     def set_link_capacity(self, src: int, dst: int, capacity: float) -> None:
@@ -119,11 +138,22 @@ class SystemCatalog:
         self._base_at_host.setdefault(host_id, set()).add(stream_id)
 
     def base_hosts_of(self, stream_id: int) -> FrozenSet[int]:
-        """Hosts at which the given base stream is injected."""
-        return frozenset(self._base_hosts.get(stream_id, set()))
+        """*Active* hosts at which the given base stream is injected.
+
+        Injection points on offline hosts are hidden — a failed host stops
+        sourcing its base streams — and reappear when the host is
+        reactivated.
+        """
+        return frozenset(
+            h
+            for h in self._base_hosts.get(stream_id, set())
+            if self.hosts.is_active(h)
+        )
 
     def base_streams_at(self, host_id: int) -> FrozenSet[int]:
-        """S0h — base streams available at ``host_id``."""
+        """S0h — base streams available at ``host_id`` (empty when offline)."""
+        if not self.hosts.is_active(host_id):
+            return frozenset()
         return frozenset(self._base_at_host.get(host_id, set()))
 
     def stream_rate(self, stream_id: int) -> float:
@@ -289,11 +319,11 @@ class SystemCatalog:
 
     # -------------------------------------------------------------- aggregates
     def total_cpu_capacity(self) -> float:
-        """Sum of ζ_h over all hosts."""
+        """Sum of ζ_h over the active hosts."""
         return sum(host.cpu_capacity for host in self.hosts)
 
     def total_bandwidth_capacity(self) -> float:
-        """Sum of β_h over all hosts."""
+        """Sum of β_h over the active hosts."""
         return sum(host.bandwidth_capacity for host in self.hosts)
 
     def total_link_capacity(self) -> float:

@@ -19,8 +19,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.dsps.allocation import Allocation, PlacementDelta
 from repro.dsps.catalog import SystemCatalog
+from repro.dsps.plan import extract_plan, rebuild_minimal_allocation
 from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
-from repro.exceptions import AllocationError
+from repro.exceptions import AllocationError, CatalogError, PlanError
 
 
 @dataclass
@@ -48,6 +49,27 @@ class DeploymentReport:
     def max_cpu_utilisation(self) -> float:
         """Maximum CPU utilisation across hosts (load-balance indicator)."""
         return max(self.cpu_utilisation, default=0.0)
+
+
+@dataclass
+class HostChangeReport:
+    """Outcome of a host failure/recovery applied to the engine.
+
+    ``victims`` are the admitted queries that were running (in whole or in
+    part) on the affected host and had to be evicted; re-submitting them
+    through a planner is the caller's job (the simulation harness does so).
+    ``violations`` is the re-validation result of the surviving allocation
+    and is empty in normal operation.
+    """
+
+    host: int
+    victims: List[int] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the surviving allocation re-validated with no violations."""
+        return not self.violations
 
 
 class ClusterEngine:
@@ -89,6 +111,92 @@ class ClusterEngine:
         """How many deltas have been deployed."""
         return len(self._deploy_log)
 
+    def adopt(self, allocation: Allocation) -> None:
+        """Make ``allocation`` the engine's live allocation.
+
+        The simulation harness keeps a planner's live allocation and the
+        engine's in sync through this method: planners with allocation state
+        replace (not mutate) their allocation object on garbage collection,
+        so sharing by identity is not possible.
+        """
+        if allocation.catalog is not self.catalog:
+            raise AllocationError(
+                "cannot adopt an allocation built on a different catalog"
+            )
+        self.allocation = allocation
+
+    # ------------------------------------------------------------ host lifecycle
+    @property
+    def active_hosts(self) -> List[int]:
+        """Ids of hosts currently online."""
+        return self.catalog.host_ids
+
+    def add_host(
+        self,
+        cpu_capacity: float,
+        bandwidth_capacity: float,
+        name: Optional[str] = None,
+    ) -> int:
+        """Provision a brand-new host (a host-join event) and return its id."""
+        return self.catalog.add_host(cpu_capacity, bandwidth_capacity, name).host_id
+
+    def victims_of_host(self, host_id: int) -> List[int]:
+        """Admitted queries that depend on ``host_id`` in the live allocation.
+
+        A query is a victim when its result stream is served from the host,
+        when its extracted plan touches the host, or when its plan can no
+        longer be extracted at all (e.g. the host sourced one of its base
+        streams).
+        """
+        victims: List[int] = []
+        for query_id in sorted(self.allocation.admitted_queries):
+            query = self.catalog.get_query(query_id)
+            if self.allocation.provider_of(query.result_stream) == host_id:
+                victims.append(query_id)
+                continue
+            try:
+                plan = extract_plan(self.catalog, self.allocation, query.result_stream)
+            except PlanError:
+                victims.append(query_id)
+                continue
+            if host_id in plan.hosts_used():
+                victims.append(query_id)
+        return victims
+
+    def fail_host(self, host_id: int) -> HostChangeReport:
+        """Take ``host_id`` offline and evict every query depending on it.
+
+        The host is deactivated in the catalog (planners stop considering
+        it and its base-stream injections disappear), the victim queries are
+        removed with garbage collection, and the surviving allocation is
+        re-validated.  The report lists the victims so the caller can try to
+        re-admit them elsewhere.
+        """
+        if not self.catalog.is_host_active(host_id):
+            raise CatalogError(f"host {host_id} is already offline")
+        self.catalog.deactivate_host(host_id)
+        victims = self.victims_of_host(host_id)
+        if victims:
+            self.allocation = self.allocation.without_queries(victims)
+        else:
+            # Even with no victims the allocation may carry redundant
+            # structures on the dead host that no extracted plan uses (a
+            # timed-out incumbent with garbage collection disabled leaves
+            # such residue); rebuild so nothing references the host.
+            self.allocation = rebuild_minimal_allocation(
+                self.catalog, self.allocation
+            )
+        return HostChangeReport(
+            host=host_id, victims=victims, violations=self.allocation.validate()
+        )
+
+    def restore_host(self, host_id: int) -> HostChangeReport:
+        """Bring a failed host back online (its base streams reappear)."""
+        if self.catalog.is_host_active(host_id):
+            raise CatalogError(f"host {host_id} is already online")
+        self.catalog.activate_host(host_id)
+        return HostChangeReport(host=host_id, violations=self.allocation.validate())
+
     # ---------------------------------------------------------------- reporting
     def report(self) -> DeploymentReport:
         """Snapshot the cluster state (per-host utilisation distributions)."""
@@ -106,6 +214,15 @@ class ClusterEngine:
         return self.monitor.sample_all(self.allocation)
 
     def reset(self) -> None:
-        """Drop all deployed queries (used between experiment repetitions)."""
+        """Drop all deployed queries (used between experiment repetitions).
+
+        Also clears any operator drift injected into the shared
+        :class:`ResourceMonitor` — without this a later repetition would
+        observe phantom drift from the previous one — and brings every
+        failed host back online so repetitions start from identical state.
+        """
         self.allocation = Allocation(self.catalog)
         self._deploy_log.clear()
+        self.monitor.reset_drift()
+        for host_id in self.catalog.hosts.offline_ids:
+            self.catalog.activate_host(host_id)

@@ -47,11 +47,20 @@ class Host:
 
 
 class HostSet:
-    """An ordered collection of hosts with name lookup."""
+    """An ordered collection of hosts with name lookup and an online/offline
+    state per host.
+
+    Host ids stay dense and stable for the lifetime of a catalog: a failed
+    host is *deactivated*, never deleted, so ids referenced by historical
+    allocations, plans and solver variable names remain resolvable.  All
+    placement-facing views (:attr:`ids`, iteration) expose only the active
+    hosts; :attr:`all_ids` and :meth:`get` still see every registered host.
+    """
 
     def __init__(self) -> None:
         self._hosts: List[Host] = []
         self._by_name: Dict[str, Host] = {}
+        self._offline: set = set()
 
     def add(self, name: str, cpu_capacity: float, bandwidth_capacity: float) -> Host:
         """Register a new host and return it."""
@@ -81,13 +90,45 @@ class HostSet:
         except KeyError:
             raise CatalogError(f"unknown host name {name!r}") from None
 
+    # ----------------------------------------------------------------- lifecycle
+    def deactivate(self, host_id: int) -> None:
+        """Take a host offline (fail it); its id stays registered."""
+        self.get(host_id)  # validates the id
+        self._offline.add(host_id)
+
+    def activate(self, host_id: int) -> None:
+        """Bring a previously deactivated host back online."""
+        self.get(host_id)
+        self._offline.discard(host_id)
+
+    def is_active(self, host_id: int) -> bool:
+        """Whether the host is currently online."""
+        self.get(host_id)
+        return host_id not in self._offline
+
+    @property
+    def offline_ids(self) -> List[int]:
+        """Ids of hosts currently offline, in order."""
+        return sorted(self._offline)
+
     def __len__(self) -> int:
+        """Total number of registered hosts, online or not.
+
+        The total count keeps id allocation dense; use :attr:`ids` for the
+        active view.
+        """
         return len(self._hosts)
 
     def __iter__(self) -> Iterator[Host]:
-        return iter(self._hosts)
+        """Iterate over the *active* hosts only."""
+        return (h for h in self._hosts if h.host_id not in self._offline)
 
     @property
     def ids(self) -> List[int]:
-        """All host ids in order."""
+        """Active host ids in order (offline hosts are hidden)."""
+        return [h.host_id for h in self._hosts if h.host_id not in self._offline]
+
+    @property
+    def all_ids(self) -> List[int]:
+        """Every registered host id in order, including offline hosts."""
         return [h.host_id for h in self._hosts]

@@ -65,6 +65,15 @@ class ResourceMonitor:
             factor = float(self._rng.uniform(1.0 - spread, 1.0 + spread))
             self._operator_drift[operator.operator_id] = max(0.0, factor)
 
+    def reset_drift(self) -> None:
+        """Forget all drift factors (observations match estimates again).
+
+        :meth:`repro.dsps.engine.ClusterEngine.reset` calls this between
+        experiment repetitions so a shared monitor cannot leak one
+        repetition's drift into the next.
+        """
+        self._operator_drift.clear()
+
     def drift_of(self, operator_id: int) -> float:
         """The drift factor currently applied to ``operator_id``."""
         return self._operator_drift.get(operator_id, 1.0)

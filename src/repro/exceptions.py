@@ -47,3 +47,8 @@ class PlanningError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload or scenario was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation was configured or driven incorrectly,
+    or an invariant was violated while processing an event."""

@@ -15,6 +15,26 @@ from repro.experiments.metrics import (
 from repro.experiments.reporting import format_table
 from repro.experiments import figures
 
+#: Names resolved lazily from :mod:`repro.experiments.timeline` (PEP 562),
+#: so `python -m repro.experiments.timeline` does not import the module as
+#: a package side effect and then execute it a second time under runpy.
+_TIMELINE_EXPORTS = frozenset(
+    {
+        "export_metrics_json",
+        "run_churn_experiment",
+        "run_named_churn_experiment",
+        "timeline_figure",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _TIMELINE_EXPORTS:
+        from repro.experiments import timeline
+
+        return getattr(timeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AdmissionCurve",
     "run_admission_experiment",
@@ -23,5 +43,9 @@ __all__ = [
     "saturation_point",
     "series_is_non_decreasing",
     "format_table",
+    "export_metrics_json",
+    "run_churn_experiment",
+    "run_named_churn_experiment",
+    "timeline_figure",
     "figures",
 ]

@@ -443,3 +443,33 @@ def fig7c_network_distribution(
             result.series[f"{planner}_{count}_net_mbps"] = values
             result.series[f"{planner}_{count}_cdf"] = fractions
     return result
+
+
+# ---------------------------------------------------------------------- Figure 8
+def fig8_churn_timeline(
+    scenario: Optional[Scenario] = None,
+    scenario_name: str = "host_flap",
+    planners: Sequence[str] = ("sqpr", "heuristic", "soda"),
+    seed: Optional[int] = None,
+    record_every: int = 1,
+) -> FigureResult:
+    """Fig. 8 (beyond the paper): active queries over time under churn.
+
+    Runs one named churn scenario (see
+    :data:`repro.workloads.churn.CHURN_SCENARIOS`) through the
+    discrete-event harness for every planner and charts the active-query
+    and mean-CPU trajectories.  The paper's §IV-B describes the adaptive
+    machinery; this figure shows what it does to an open system over time.
+    """
+    from repro.experiments.timeline import (
+        run_named_churn_experiment,
+        timeline_figure,
+    )
+
+    scenario = scenario or _default_simulation()
+    results = run_named_churn_experiment(
+        planners, scenario, scenario_name, seed=seed, record_every=record_every
+    )
+    figure = timeline_figure(results, title=scenario_name)
+    figure.figure = "Fig 8"
+    return figure

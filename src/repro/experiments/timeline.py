@@ -1,0 +1,201 @@
+"""Timeline experiments: drive planners through churn schedules.
+
+Where :mod:`repro.experiments.runner` answers "how many of N submitted
+queries can each planner admit?" (the paper's closed-workload question),
+this module answers the *open-system* question the adaptive story of §IV-B
+implies: with queries arriving and leaving, hosts failing and operator
+costs drifting, how many queries does each planner keep running over time?
+
+:func:`run_churn_experiment` runs one :class:`EventSchedule` against any
+set of registered planners — each on a fresh catalog built from the same
+scenario, so all runs start from identical initial conditions — and
+returns one :class:`~repro.sim.harness.SimulationResult` per planner.
+:func:`timeline_figure` folds the results into the
+:class:`~repro.experiments.figures.FigureResult` format the other figure
+drivers emit, and :func:`export_metrics_json` writes the raw per-tick
+metrics (the CI churn-artifact format).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.api import PlannerConfig, create_planner
+from repro.exceptions import SimulationError
+from repro.sim.events import EventSchedule
+from repro.sim.harness import SimulationHarness, SimulationResult
+from repro.workloads.churn import (
+    CHURN_SCENARIOS,
+    ChurnTraceConfig,
+    build_churn_schedule,
+    build_named_churn_schedule,
+)
+from repro.workloads.scenarios import Scenario
+
+
+def run_churn_experiment(
+    planners: Sequence[str],
+    scenario: Scenario,
+    trace: Optional[ChurnTraceConfig] = None,
+    schedule: Optional[EventSchedule] = None,
+    config: Optional[PlannerConfig] = None,
+    drift_threshold: float = 0.25,
+    validate_invariants: bool = True,
+    record_every: int = 1,
+) -> Dict[str, SimulationResult]:
+    """Run one churn schedule against every planner in ``planners``.
+
+    Exactly one of ``trace`` (a config, turned into a schedule over
+    ``scenario``) or ``schedule`` (a pre-built schedule) may be given;
+    omitting both uses the default :class:`ChurnTraceConfig`.  Every
+    planner gets a *fresh* catalog built from ``scenario``, so results are
+    comparable and runs are independent.
+    """
+    if trace is not None and schedule is not None:
+        raise SimulationError("pass either trace or schedule, not both")
+    if schedule is None:
+        if trace is None:
+            # Default trace: seeded from the scenario, matching the named-
+            # scenario path, so sweeps over differently-seeded scenarios
+            # actually vary.
+            trace = ChurnTraceConfig(seed=scenario.seed)
+        schedule = build_churn_schedule(scenario, trace)
+    results: Dict[str, SimulationResult] = {}
+    for name in planners:
+        catalog = scenario.build_catalog()
+        planner = create_planner(name, catalog, config=config)
+        harness = SimulationHarness(
+            planner,
+            drift_threshold=drift_threshold,
+            validate_invariants=validate_invariants,
+            record_every=record_every,
+        )
+        results[name] = harness.run(schedule)
+    return results
+
+
+def run_named_churn_experiment(
+    planners: Sequence[str],
+    scenario: Scenario,
+    scenario_name: str,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run one of the named ``CHURN_SCENARIOS`` against ``planners``.
+
+    An unknown ``scenario_name`` raises
+    :class:`~repro.exceptions.WorkloadError` (from
+    :func:`~repro.workloads.churn.build_named_churn_schedule`).
+    """
+    schedule = build_named_churn_schedule(scenario_name, scenario, seed=seed)
+    return run_churn_experiment(planners, scenario, schedule=schedule, **kwargs)
+
+
+def timeline_figure(results: Dict[str, SimulationResult], title: str = "churn"):
+    """Fold churn results into the shared :class:`FigureResult` format.
+
+    Series per planner: the active-query trajectory (sampled at every
+    recorded tick) plus the shared time axis, mirroring how the admission
+    figures expose satisfied-vs-submitted curves.
+    """
+    from repro.experiments.figures import FigureResult  # local: keep import light
+
+    result = FigureResult(
+        figure=f"Timeline ({title})",
+        description="active queries over time under churn",
+    )
+    for name, sim in results.items():
+        result.series[f"{name}_active"] = [float(t.active) for t in sim.ticks]
+        result.series[f"{name}_mean_cpu"] = [
+            float(t.mean_cpu_utilisation) for t in sim.ticks
+        ]
+    first = next(iter(results.values()), None)
+    if first is not None:
+        result.series["time"] = [float(t.time) for t in first.ticks]
+    return result
+
+
+def export_metrics_json(results: Dict[str, SimulationResult], path: str) -> None:
+    """Write every run's metrics to ``path`` as one JSON document."""
+    payload = {name: sim.to_json_dict() for name, sim in results.items()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def summarise(results: Dict[str, SimulationResult]) -> List[List[object]]:
+    """Rows (planner, admitted, rejected, departed, dropped, final active)
+    for :func:`repro.experiments.reporting.format_table`."""
+    rows: List[List[object]] = []
+    for name, sim in sorted(results.items()):
+        rows.append(
+            [
+                name,
+                sim.counters["admitted"],
+                sim.counters["rejected"],
+                sim.counters["departures"],
+                sim.counters["dropped"],
+                sim.final_active,
+            ]
+        )
+    return rows
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI used by CI: run one named churn scenario, write the metrics JSON.
+
+    ``python -m repro.experiments.timeline --quick --out CHURN_metrics.json``
+    """
+    import argparse
+
+    from repro.dsps.query import DecompositionMode
+    from repro.experiments.reporting import format_table
+    from repro.workloads.scenarios import (
+        SimulationScenarioConfig,
+        build_simulation_scenario,
+    )
+
+    parser = argparse.ArgumentParser(description="run a churn simulation")
+    parser.add_argument("--scenario", default="host_flap", choices=sorted(CHURN_SCENARIOS))
+    parser.add_argument("--planners", nargs="+", default=["heuristic", "soda", "optimistic", "sqpr"])
+    parser.add_argument("--out", default="CHURN_metrics.json")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small catalog + solver-deterministic config (the CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        scenario = build_simulation_scenario(
+            SimulationScenarioConfig(
+                num_hosts=3,
+                num_base_streams=8,
+                host_cpu_capacity=5.0,
+                host_bandwidth=150.0,
+                decomposition=DecompositionMode.CANONICAL,
+                seed=3,
+            )
+        )
+        config = PlannerConfig(time_limit=None)
+    else:
+        scenario = build_simulation_scenario()
+        config = None
+
+    results = run_named_churn_experiment(
+        args.planners, scenario, args.scenario, seed=args.seed, config=config
+    )
+    export_metrics_json(results, args.out)
+    print(
+        format_table(
+            ["planner", "admitted", "rejected", "departed", "dropped", "active at end"],
+            summarise(results),
+            title=f"churn scenario {args.scenario!r} (metrics -> {args.out})",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    _main()

@@ -1,0 +1,41 @@
+"""Discrete-event churn simulation: events, schedules and the harness.
+
+>>> from repro.sim import SimulationHarness
+>>> from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+>>> harness = SimulationHarness(planner)
+>>> result = harness.run(schedule)      # -> SimulationResult
+"""
+
+from repro.sim.events import (
+    EventSchedule,
+    HostFailure,
+    HostRecovery,
+    LoadDrift,
+    QueryArrival,
+    QueryDeparture,
+    ReplanTick,
+    SimEvent,
+    merge_schedules,
+)
+from repro.sim.harness import (
+    COUNTER_NAMES,
+    SimulationHarness,
+    SimulationResult,
+    TickMetrics,
+)
+
+__all__ = [
+    "COUNTER_NAMES",
+    "EventSchedule",
+    "HostFailure",
+    "HostRecovery",
+    "LoadDrift",
+    "QueryArrival",
+    "QueryDeparture",
+    "ReplanTick",
+    "SimEvent",
+    "SimulationHarness",
+    "SimulationResult",
+    "TickMetrics",
+    "merge_schedules",
+]

@@ -1,0 +1,205 @@
+"""The event model of the churn simulation (see ``docs/simulation.md``).
+
+A simulation is a time-ordered stream of :class:`SimEvent` records drained
+by :class:`repro.sim.harness.SimulationHarness`.  Six event kinds cover the
+dynamics the paper's adaptive re-planning story (§IV-B) reacts to:
+
+* :class:`QueryArrival` — a client submits a new query,
+* :class:`QueryDeparture` — a client cancels a previously submitted query,
+* :class:`HostFailure` / :class:`HostRecovery` — a host leaves / rejoins,
+* :class:`LoadDrift` — observed operator costs drift away from estimates,
+* :class:`ReplanTick` — a periodic adaptive re-planning opportunity.
+
+Events carry *descriptions* of what happens, never live objects: a
+departure references its arrival by index, drift names a factor and a
+count rather than operator ids (operators only exist once queries have
+been registered).  This keeps schedules independent of any catalog
+instance, so one :class:`EventSchedule` can drive every planner under
+comparison from identical initial conditions — the determinism contract
+the scenario tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dsps.query import QueryWorkloadItem
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base class of all simulation events: something happens at ``time``."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """Short machine-readable event kind (the class name)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class QueryArrival(SimEvent):
+    """A client submits a new query.
+
+    ``arrival_index`` is the 0-based position among all arrivals of the
+    schedule; departures reference it because query ids are only assigned
+    at registration time.  ``lifetime`` (when known at generation time) is
+    informational — the matching :class:`QueryDeparture` is what actually
+    removes the query.
+    """
+
+    item: QueryWorkloadItem
+    arrival_index: int
+    lifetime: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class QueryDeparture(SimEvent):
+    """The client of arrival ``arrival_index`` cancels its query."""
+
+    arrival_index: int
+
+
+@dataclass(frozen=True)
+class HostFailure(SimEvent):
+    """Host ``host`` fails: it leaves the active set, queries running on it
+    are evicted and re-planned elsewhere."""
+
+    host: int
+
+
+@dataclass(frozen=True)
+class HostRecovery(SimEvent):
+    """Host ``host`` rejoins the cluster with its base streams."""
+
+    host: int
+
+
+@dataclass(frozen=True)
+class LoadDrift(SimEvent):
+    """Observed cost of ``num_operators`` currently-placed operators drifts
+    to ``factor`` × the estimate (the §IV-B trigger condition)."""
+
+    factor: float
+    num_operators: int = 1
+
+
+@dataclass(frozen=True)
+class ReplanTick(SimEvent):
+    """A periodic opportunity for adaptive re-planning; the harness runs a
+    round only when the monitor flags victims."""
+
+
+@dataclass
+class EventSchedule:
+    """A validated, time-ordered event stream plus its seeding contract.
+
+    ``seed`` is the *only* source of randomness of a simulation run: the
+    trace generator derives every sample from it, and the harness derives
+    its own event-execution RNG (drift target selection) from it.  Two runs
+    of the same schedule against freshly-built planners are therefore
+    bit-identical.
+    """
+
+    events: List[SimEvent] = field(default_factory=list)
+    seed: int = 0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise SimulationError("schedule events must be sorted by time")
+        arrivals = [e for e in self.events if isinstance(e, QueryArrival)]
+        indices = [e.arrival_index for e in arrivals]
+        if indices != list(range(len(indices))):
+            raise SimulationError(
+                "arrival_index values must be dense and in arrival order"
+            )
+        # A departure must come after the arrival it cancels — scanning in
+        # order, its index must already have arrived.
+        arrived = set()
+        for event in self.events:
+            if isinstance(event, QueryArrival):
+                arrived.add(event.arrival_index)
+            elif isinstance(event, QueryDeparture):
+                if event.arrival_index not in arrived:
+                    raise SimulationError(
+                        f"departure at t={event.time:g} precedes (or references "
+                        f"an unknown) arrival {event.arrival_index}"
+                    )
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_arrivals(self) -> int:
+        """Number of query arrivals in the schedule."""
+        return sum(1 for e in self.events if isinstance(e, QueryArrival))
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Event counts per kind (for summaries and tests)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the schedule."""
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.counts_by_kind().items())
+        )
+        return (
+            f"EventSchedule(seed={self.seed}, duration={self.duration:g}, "
+            f"{len(self.events)} events: {counts})"
+        )
+
+
+def merge_schedules(*schedules: EventSchedule) -> EventSchedule:
+    """Merge schedules into one, re-sorting by time (stable).
+
+    Arrival indices are re-assigned densely in merged arrival order and
+    departures are re-pointed accordingly, so independently generated
+    sub-traces (e.g. a failure-injection overlay on an arrival trace) can
+    be composed.  The merged schedule keeps the first schedule's seed.
+    """
+    if not schedules:
+        return EventSchedule()
+    tagged: List[Tuple[float, int, SimEvent]] = []
+    remap: Dict[Tuple[int, int], int] = {}  # (schedule idx, old index) -> new
+    # First pass fixes the merged arrival order (stable sort by time).
+    arrivals: List[Tuple[float, int, QueryArrival]] = []
+    for sched_idx, schedule in enumerate(schedules):
+        for event in schedule:
+            if isinstance(event, QueryArrival):
+                arrivals.append((event.time, sched_idx, event))
+    arrivals.sort(key=lambda entry: (entry[0], entry[1]))
+    for new_index, (_time, sched_idx, event) in enumerate(arrivals):
+        remap[(sched_idx, event.arrival_index)] = new_index
+    for sched_idx, schedule in enumerate(schedules):
+        for seq, event in enumerate(schedule):
+            if isinstance(event, QueryArrival):
+                event = QueryArrival(
+                    time=event.time,
+                    item=event.item,
+                    arrival_index=remap[(sched_idx, event.arrival_index)],
+                    lifetime=event.lifetime,
+                )
+            elif isinstance(event, QueryDeparture):
+                event = QueryDeparture(
+                    time=event.time,
+                    arrival_index=remap[(sched_idx, event.arrival_index)],
+                )
+            tagged.append((event.time, sched_idx * 1_000_000 + seq, event))
+    tagged.sort(key=lambda entry: (entry[0], entry[1]))
+    merged = [event for (_t, _seq, event) in tagged]
+    return EventSchedule(
+        events=merged,
+        seed=schedules[0].seed,
+        duration=max(s.duration for s in schedules),
+    )

@@ -1,0 +1,378 @@
+"""The deterministic discrete-event churn simulation harness.
+
+:class:`SimulationHarness` drives one planner through an
+:class:`~repro.sim.events.EventSchedule` on top of a
+:class:`~repro.dsps.engine.ClusterEngine`:
+
+* **arrivals** go through the planner's normal ``submit`` path,
+* **departures** retire admitted queries (``Planner.retire``), garbage-
+  collecting the structures only they needed,
+* **host failures** deactivate the host in the engine, evict the victim
+  queries and immediately try to re-admit them on the surviving hosts,
+* **host recoveries** bring the host (and its base streams) back,
+* **load drift** perturbs observed operator costs in the resource monitor,
+* **replan ticks** give the :class:`~repro.core.adaptive.AdaptiveReplanner`
+  a periodic chance to move drifted/overloaded queries (§IV-B).
+
+Determinism contract: given the same schedule (hence the same seed) and a
+freshly built catalog + planner, two runs produce identical
+:class:`SimulationResult` values — ``result.fingerprint()`` is the equality
+the scenario tests assert.  The harness adds no randomness of its own
+beyond an RNG derived from the schedule seed (used to pick drift targets),
+and it never reads the clock.  Planners must be configured
+deterministically: on the small scenarios used for simulation the default
+config works because solves finish before their time limits; for strict
+determinism on larger scenarios pass ``PlannerConfig(time_limit=None)`` so
+no solver decision ever depends on wall-clock.
+
+After every event the harness checks the planner's live allocation for
+constraint violations (``validate_invariants=True``, the default) and
+raises :class:`~repro.exceptions.SimulationError` on the first violation,
+so a decoding or garbage-collection bug surfaces at the event that caused
+it rather than as a corrupted end-state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.base import Planner
+from repro.core.adaptive import AdaptiveReplanner
+from repro.dsps.engine import ClusterEngine
+from repro.exceptions import SimulationError
+from repro.sim.events import (
+    EventSchedule,
+    HostFailure,
+    HostRecovery,
+    LoadDrift,
+    QueryArrival,
+    QueryDeparture,
+    ReplanTick,
+    SimEvent,
+)
+from repro.utils.rng import ensure_rng
+
+#: Counter names every simulation result carries (all start at zero, so
+#: golden fixtures and dashboards see a stable key set).
+COUNTER_NAMES = (
+    "arrivals",
+    "admitted",
+    "rejected",
+    "departures",
+    "departures_of_rejected",
+    "host_failures",
+    "host_recoveries",
+    "evicted",
+    "readmitted",
+    "dropped",
+    "drift_events",
+    "replan_ticks",
+    "replan_rounds",
+    "replan_readmitted",
+    "replan_dropped",
+)
+
+
+@dataclass
+class TickMetrics:
+    """One per-event snapshot of the simulated system."""
+
+    time: float
+    event: str
+    submitted: int          # cumulative arrivals submitted
+    active: int             # queries currently admitted and not departed
+    rejected: int           # cumulative admission rejections
+    departed: int           # cumulative clean departures
+    dropped: int            # cumulative forced drops (failures, replans)
+    replans: int            # cumulative replanning rounds that moved queries
+    active_hosts: int
+    mean_cpu_utilisation: float
+    max_cpu_utilisation: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything one churn simulation run produced."""
+
+    planner_name: str
+    seed: int
+    ticks: List[TickMetrics] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    final_violations: List[str] = field(default_factory=list)
+
+    @property
+    def final_active(self) -> int:
+        """Queries still admitted when the schedule ran out."""
+        return self.ticks[-1].active if self.ticks else 0
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of the run used to assert determinism.
+
+        Covers every counter and the full per-tick ``(time, active,
+        rejected, dropped)`` trajectory; planning times are deliberately
+        excluded because wall-clock is the one thing two identical runs
+        may not share.
+        """
+        return (
+            self.planner_name,
+            self.seed,
+            tuple(sorted(self.counters.items())),
+            tuple((t.time, t.active, t.rejected, t.dropped) for t in self.ticks),
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dump (the CI churn artifact format)."""
+        return {
+            "planner": self.planner_name,
+            "seed": self.seed,
+            "counters": dict(sorted(self.counters.items())),
+            "final_active": self.final_active,
+            "final_violations": list(self.final_violations),
+            "ticks": [asdict(tick) for tick in self.ticks],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise :meth:`to_json_dict` to a JSON string."""
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+class SimulationHarness:
+    """Drive one planner through an event schedule on a cluster engine.
+
+    Parameters
+    ----------
+    planner:
+        Any registered planner instance (the catalog it was built on is the
+        simulated system).
+    engine:
+        The cluster engine to run on; one is built on the planner's catalog
+        when omitted.  The engine's monitor is the drift/overload oracle.
+    replanner:
+        Adaptive replanner consuming the ``ReplanTick`` events; built
+        automatically for planners with a live allocation when omitted
+        (``auto_replanner=False`` disables that).
+    drift_threshold:
+        Relative drift above which an operator's queries become replan
+        victims (forwarded to the auto-built replanner).
+    validate_invariants:
+        Check ``allocation.validate()`` after every event and raise
+        :class:`SimulationError` on the first violation.
+    record_every:
+        Record a :class:`TickMetrics` every N processed events (the final
+        event is always recorded).
+    """
+
+    def __init__(
+        self,
+        planner: Planner,
+        engine: Optional[ClusterEngine] = None,
+        replanner: Optional[AdaptiveReplanner] = None,
+        drift_threshold: float = 0.25,
+        auto_replanner: bool = True,
+        validate_invariants: bool = True,
+        record_every: int = 1,
+    ) -> None:
+        self.planner = planner
+        self.engine = engine or ClusterEngine(planner.catalog, strict=False)
+        if self.engine.catalog is not planner.catalog:
+            raise SimulationError(
+                "engine and planner must share one catalog instance"
+            )
+        if replanner is None and auto_replanner and planner.allocation is not None:
+            replanner = AdaptiveReplanner(
+                planner, self.engine.monitor, drift_threshold=drift_threshold
+            )
+        self.replanner = replanner
+        self.validate_invariants = validate_invariants
+        self.record_every = max(1, record_every)
+
+    # ------------------------------------------------------------------ running
+    def run(self, schedule: EventSchedule) -> SimulationResult:
+        """Process every event of ``schedule`` in order and return the result."""
+        planner = self.planner
+        catalog = planner.catalog
+        rng = ensure_rng(schedule.seed + 0x5EED)
+        result = SimulationResult(planner_name=planner.name, seed=schedule.seed)
+        counters = result.counters
+        for name in COUNTER_NAMES:
+            counters[name] = 0
+
+        #: arrival_index -> query_id for still-active queries, and the
+        #: reverse map so a re-admitted victim re-occupies its slot.
+        active: Dict[int, int] = {}
+        index_by_query: Dict[int, int] = {}
+
+        def reconcile() -> List[int]:
+            """Drop map entries whose query the planner no longer admits;
+            returns the forcibly dropped query ids."""
+            current = planner.active_queries
+            stale = [
+                (index, qid) for index, qid in active.items() if qid not in current
+            ]
+            for index, _qid in stale:
+                del active[index]
+            return [qid for _index, qid in stale]
+
+        def sync_engine() -> None:
+            if planner.allocation is not None:
+                self.engine.adopt(planner.allocation)
+
+        for position, event in enumerate(schedule):
+            if isinstance(event, QueryArrival):
+                counters["arrivals"] += 1
+                outcome = planner.submit(event.item)
+                index_by_query[outcome.query.query_id] = event.arrival_index
+                if outcome.admitted:
+                    counters["admitted"] += 1
+                    active[event.arrival_index] = outcome.query.query_id
+                else:
+                    counters["rejected"] += 1
+
+            elif isinstance(event, QueryDeparture):
+                query_id = active.pop(event.arrival_index, None)
+                if query_id is None:
+                    # The arrival was rejected (or already force-dropped);
+                    # the client's cancellation is a no-op.
+                    counters["departures_of_rejected"] += 1
+                else:
+                    planner.retire(query_id)
+                    counters["departures"] += 1
+                    # An optimistic-bound replay may shed other queries.
+                    counters["dropped"] += len(reconcile())
+
+            elif isinstance(event, HostFailure):
+                counters["host_failures"] += 1
+                sync_engine()
+                report = self.engine.fail_host(event.host)
+                if planner.allocation is not None:
+                    planner.allocation = self.engine.allocation
+                planner_drops = planner.on_topology_change()
+                counters["evicted"] += len(report.victims) + len(planner_drops)
+                dropped_now = set(reconcile())
+                counters["dropped"] += len(dropped_now)
+                # Victims evicted from concrete placements get one immediate
+                # re-admission attempt on the surviving hosts.  Only victims
+                # this run counted as dropped may decrement the counter — a
+                # planner warmed up before run() has victims the harness
+                # never tracked.
+                for victim in report.victims:
+                    outcome = planner.submit(catalog.get_query(victim))
+                    if outcome.admitted:
+                        counters["readmitted"] += 1
+                        if victim in dropped_now:
+                            counters["dropped"] -= 1
+                        index = index_by_query.get(victim)
+                        if index is not None:
+                            active[index] = victim
+                if report.violations:
+                    raise SimulationError(
+                        f"host failure {event.host} left violations: "
+                        + "; ".join(report.violations[:3])
+                    )
+
+            elif isinstance(event, HostRecovery):
+                counters["host_recoveries"] += 1
+                self.engine.restore_host(event.host)
+                planner.on_topology_change()
+
+            elif isinstance(event, LoadDrift):
+                counters["drift_events"] += 1
+                self._apply_drift(event, rng)
+
+            elif isinstance(event, ReplanTick):
+                counters["replan_ticks"] += 1
+                if self.replanner is not None:
+                    report = self.replanner.maybe_replan()
+                    if report is not None:
+                        counters["replan_rounds"] += 1
+                        counters["replan_readmitted"] += len(report.readmitted)
+                        counters["replan_dropped"] += len(report.dropped)
+                        counters["dropped"] += len(reconcile())
+                        # Once re-planned, the drifted estimates have been
+                        # acted on; clear them so the same drift does not
+                        # re-trigger a round on every subsequent tick.
+                        self.engine.monitor.reset_drift()
+
+            else:  # pragma: no cover - future event kinds
+                raise SimulationError(f"unknown event kind {event.kind!r}")
+
+            sync_engine()
+            self._check_invariants(event)
+            if (
+                position % self.record_every == 0
+                or position == len(schedule) - 1
+            ):
+                result.ticks.append(self._tick(event, counters, len(active)))
+
+        if planner.allocation is not None:
+            result.final_violations = planner.allocation.validate()
+        return result
+
+    # ------------------------------------------------------------------ helpers
+    def _apply_drift(self, event: LoadDrift, rng) -> None:
+        """Apply ``event`` to deterministically chosen drift targets.
+
+        Targets are the currently-placed operators (allocation planners) or
+        every registered operator (planners without an allocation), sorted
+        by id; the schedule-derived RNG picks ``num_operators`` of them.
+        Selection is deterministic because the RNG is consumed in event
+        order.
+        """
+        allocation = self.planner.allocation
+        if allocation is not None:
+            candidates = sorted({op for (_h, op) in allocation.placements})
+        else:
+            candidates = sorted(
+                operator.operator_id for operator in self.planner.catalog.operators
+            )
+        if not candidates:
+            return
+        count = min(max(1, event.num_operators), len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        for offset in sorted(int(i) for i in chosen):
+            self.engine.monitor.set_operator_drift(candidates[offset], event.factor)
+
+    def _check_invariants(self, event: SimEvent) -> None:
+        if not self.validate_invariants:
+            return
+        allocation = self.planner.allocation
+        if allocation is None:
+            return
+        violations = allocation.validate()
+        if violations:
+            raise SimulationError(
+                f"invariant violated after {event.kind} at t={event.time:g}: "
+                + "; ".join(violations[:3])
+            )
+
+    def _tick(
+        self, event: SimEvent, counters: Dict[str, int], num_active: int
+    ) -> TickMetrics:
+        allocation = self.planner.allocation
+        hosts = self.planner.catalog.host_ids
+        if allocation is not None and hosts:
+            utilisations = [allocation.cpu_utilisation(h) for h in hosts]
+            mean_cpu = sum(utilisations) / len(utilisations)
+            max_cpu = max(utilisations)
+        elif hosts:
+            # Aggregate-host planners: one global utilisation number.
+            used = getattr(self.planner, "cpu_used", 0.0)
+            capacity = getattr(self.planner, "cpu_capacity", 0.0) or 1.0
+            mean_cpu = max_cpu = used / capacity
+        else:
+            mean_cpu = max_cpu = 0.0
+        return TickMetrics(
+            time=event.time,
+            event=event.kind,
+            submitted=counters["arrivals"],
+            active=num_active,
+            rejected=counters["rejected"],
+            departed=counters["departures"],
+            dropped=counters["dropped"],
+            replans=counters["replan_rounds"],
+            active_hosts=len(hosts),
+            mean_cpu_utilisation=mean_cpu,
+            max_cpu_utilisation=max_cpu,
+        )

@@ -9,6 +9,7 @@ experiment do not share a stream of random numbers.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Union
 
 import numpy as np
@@ -43,7 +44,12 @@ def spawn_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     The child is seeded from the parent stream combined with a stable hash of
     ``label`` so that adding a new consumer of randomness does not perturb the
     sequences observed by existing consumers with different labels.
+
+    The label hash is CRC32, not Python's ``hash()``: string hashing is
+    randomised per process (PYTHONHASHSEED), which would make "seeded"
+    schedules differ between runs — the golden churn fixture caught exactly
+    that.
     """
-    label_seed = abs(hash(label)) % (2**31)
+    label_seed = zlib.crc32(label.encode("utf-8")) % (2**31)
     parent_seed = int(rng.integers(0, 2**31 - 1))
     return np.random.default_rng((parent_seed, label_seed))

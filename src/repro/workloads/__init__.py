@@ -1,4 +1,4 @@
-"""Workload generation and canonical experiment scenarios."""
+"""Workload generation, canonical experiment scenarios and churn traces."""
 
 from repro.workloads.zipf import ZipfSampler
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -8,6 +8,12 @@ from repro.workloads.scenarios import (
     SimulationScenarioConfig,
     build_cluster_scenario,
     build_simulation_scenario,
+)
+from repro.workloads.churn import (
+    CHURN_SCENARIOS,
+    ChurnTraceConfig,
+    build_churn_schedule,
+    build_named_churn_schedule,
 )
 
 __all__ = [
@@ -19,4 +25,8 @@ __all__ = [
     "ClusterScenarioConfig",
     "build_simulation_scenario",
     "build_cluster_scenario",
+    "CHURN_SCENARIOS",
+    "ChurnTraceConfig",
+    "build_churn_schedule",
+    "build_named_churn_schedule",
 ]

@@ -1,0 +1,317 @@
+"""Churn trace generation: timed event schedules over a scenario.
+
+The static workloads of :mod:`repro.workloads.generator` are arrival lists;
+a *churn trace* extends them with time: Poisson arrivals, Zipf-skewed query
+lifetimes (most clients leave quickly, a heavy tail stays for the whole
+run), seeded host failure/recovery injection, periodic operator-cost drift
+and periodic adaptive re-planning ticks.  The output is an
+:class:`~repro.sim.events.EventSchedule` that
+:class:`~repro.sim.harness.SimulationHarness` can drain against any
+registered planner.
+
+Everything is derived deterministically from ``ChurnTraceConfig.seed``
+(through independent child RNG streams per concern, so e.g. adding drift
+events never perturbs the arrival process), which is what makes churn
+simulations reproducible and comparable across planners.
+
+``CHURN_SCENARIOS`` names ready-made configurations the experiments, the
+example script and the CI quick-run all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.sim.events import (
+    EventSchedule,
+    HostFailure,
+    HostRecovery,
+    LoadDrift,
+    QueryArrival,
+    QueryDeparture,
+    ReplanTick,
+    SimEvent,
+)
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import Scenario
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class ChurnTraceConfig:
+    """Parameters of one churn trace.
+
+    Attributes
+    ----------
+    duration:
+        Simulated time horizon (arbitrary units; events past it are cut).
+    arrival_rate:
+        Poisson arrival rate (queries per time unit).
+    min_lifetime:
+        Shortest possible query lifetime.
+    lifetime_buckets / lifetime_zipf_exponent:
+        Query lifetimes are ``min_lifetime × (rank + 1)`` with ``rank``
+        drawn Zipf-skewed from ``lifetime_buckets`` ranks — rank 0 (the
+        shortest lifetime) is the most popular, producing the short-lived
+        majority plus a heavy tail of long-running queries.  Queries whose
+        departure would fall past ``duration`` simply never depart.
+    num_host_failures:
+        How many host-failure events to inject, at seeded times in the
+        middle ``(0.15, 0.85) × duration`` of the run, on seeded victims.
+        Victims are distinct and capped at ``num_hosts - 1``, so at least
+        one host always survives even when no failure ever recovers.
+    recovery_delay:
+        Failed hosts rejoin after this delay (``None`` = never).
+    drift_period / drift_factor / drift_operators:
+        Every ``drift_period`` time units, ``drift_operators`` placed
+        operators drift to ``drift_factor`` × their estimated cost
+        (``drift_period=None`` disables drift).
+    replan_period:
+        Period of adaptive re-planning ticks (``None`` disables them).
+    burst_factor / burst_start_frac / burst_end_frac:
+        Flash-crowd support: within ``[burst_start_frac, burst_end_frac] ×
+        duration`` the arrival rate is multiplied by ``burst_factor``
+        (1.0 = no burst).
+    arities / zipf_exponent:
+        Forwarded to the workload generator (query shapes and overlap).
+    seed:
+        Root seed of every random stream in the trace.
+    """
+
+    duration: float = 100.0
+    arrival_rate: float = 0.6
+    min_lifetime: float = 10.0
+    lifetime_buckets: int = 12
+    lifetime_zipf_exponent: float = 1.1
+    num_host_failures: int = 0
+    recovery_delay: Optional[float] = None
+    drift_period: Optional[float] = None
+    drift_factor: float = 1.8
+    drift_operators: int = 2
+    replan_period: Optional[float] = None
+    burst_factor: float = 1.0
+    burst_start_frac: float = 0.0
+    burst_end_frac: float = 0.0
+    arities: Tuple[int, ...] = (2, 3)
+    zipf_exponent: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError("duration must be positive")
+        if self.arrival_rate <= 0:
+            raise WorkloadError("arrival_rate must be positive")
+        if self.min_lifetime <= 0:
+            raise WorkloadError("min_lifetime must be positive")
+        if self.lifetime_buckets < 1:
+            raise WorkloadError("lifetime_buckets must be >= 1")
+        if self.num_host_failures < 0:
+            raise WorkloadError("num_host_failures must be non-negative")
+        for period in (self.drift_period, self.replan_period, self.recovery_delay):
+            if period is not None and period <= 0:
+                raise WorkloadError("periods/delays must be positive when set")
+        if self.burst_factor < 1.0:
+            raise WorkloadError("burst_factor must be >= 1.0")
+        if not (0.0 <= self.burst_start_frac <= self.burst_end_frac <= 1.0):
+            raise WorkloadError(
+                "burst window fractions must satisfy 0 <= start <= end <= 1"
+            )
+
+
+def build_churn_schedule(
+    scenario: Scenario, config: Optional[ChurnTraceConfig] = None
+) -> EventSchedule:
+    """Generate the :class:`EventSchedule` of ``config`` over ``scenario``.
+
+    The scenario contributes the base-stream universe (query shapes) and
+    the host count (failure targets); the schedule itself references hosts
+    by id and arrivals by index, so it can be replayed against any fresh
+    catalog built from the same scenario.
+    """
+    config = config or ChurnTraceConfig()
+    root = ensure_rng(config.seed)
+    arrival_rng = spawn_rng(root, "arrivals")
+    lifetime_rng = spawn_rng(root, "lifetimes")
+    failure_rng = spawn_rng(root, "failures")
+
+    events: List[SimEvent] = []
+
+    # ------------------------------------------------------- arrivals/departures
+    # A (possibly piecewise-constant) Poisson process: inside the burst
+    # window the rate is multiplied by burst_factor.
+    burst_start = config.burst_start_frac * config.duration
+    burst_end = config.burst_end_frac * config.duration
+
+    def rate_at(time: float) -> float:
+        if config.burst_factor > 1.0 and burst_start <= time < burst_end:
+            return config.arrival_rate * config.burst_factor
+        return config.arrival_rate
+
+    arrival_times: List[float] = []
+    clock = 0.0
+    while True:
+        clock += float(arrival_rng.exponential(1.0 / rate_at(clock)))
+        if clock >= config.duration:
+            break
+        arrival_times.append(clock)
+    items = WorkloadGenerator(
+        scenario.base_stream_names(),
+        WorkloadSpec(
+            num_queries=len(arrival_times),
+            arities=config.arities,
+            zipf_exponent=config.zipf_exponent,
+        ),
+        random_state=spawn_rng(root, "workload"),
+    ).generate()
+    lifetime_sampler = ZipfSampler(
+        config.lifetime_buckets, config.lifetime_zipf_exponent, lifetime_rng
+    )
+    for index, (time, item) in enumerate(zip(arrival_times, items)):
+        rank = lifetime_sampler.sample()
+        lifetime = config.min_lifetime * (rank + 1)
+        events.append(
+            QueryArrival(time=time, item=item, arrival_index=index, lifetime=lifetime)
+        )
+        if time + lifetime < config.duration:
+            events.append(
+                QueryDeparture(time=time + lifetime, arrival_index=index)
+            )
+
+    # ------------------------------------------------------------------ failures
+    max_failures = min(config.num_host_failures, max(0, scenario.num_hosts - 1))
+    if max_failures:
+        failure_times = sorted(
+            float(t)
+            for t in failure_rng.uniform(
+                0.15 * config.duration, 0.85 * config.duration, size=max_failures
+            )
+        )
+        victims = [
+            int(h)
+            for h in failure_rng.choice(
+                scenario.num_hosts, size=max_failures, replace=False
+            )
+        ]
+        for time, host in zip(failure_times, victims):
+            events.append(HostFailure(time=time, host=host))
+            if config.recovery_delay is not None:
+                recovery_time = time + config.recovery_delay
+                if recovery_time < config.duration:
+                    events.append(HostRecovery(time=recovery_time, host=host))
+
+    # ------------------------------------------------------------- drift/replan
+    if config.drift_period is not None:
+        tick = config.drift_period
+        while tick < config.duration:
+            events.append(
+                LoadDrift(
+                    time=tick,
+                    factor=config.drift_factor,
+                    num_operators=config.drift_operators,
+                )
+            )
+            tick += config.drift_period
+    if config.replan_period is not None:
+        tick = config.replan_period
+        while tick < config.duration:
+            events.append(ReplanTick(time=tick))
+            tick += config.replan_period
+
+    # Stable order: by time, with ties broken by a fixed kind priority so
+    # that e.g. a departure at t precedes an arrival at the same t (frees
+    # resources first) and replan ticks run after the drift they react to.
+    priority = {
+        QueryDeparture: 0,
+        HostRecovery: 1,
+        HostFailure: 2,
+        QueryArrival: 3,
+        LoadDrift: 4,
+        ReplanTick: 5,
+    }
+    events.sort(key=lambda e: (e.time, priority[type(e)], getattr(e, "arrival_index", -1)))
+    return EventSchedule(events=events, seed=config.seed, duration=config.duration)
+
+
+#: Named churn scenarios: name -> (description, config factory).  Factories
+#: take the seed so sweeps can re-roll a scenario without redefining it.
+CHURN_SCENARIOS: Dict[str, Tuple[str, Callable[[int], ChurnTraceConfig]]] = {
+    "steady_churn": (
+        "Poisson arrivals with Zipf lifetimes; no failures, no drift — the "
+        "baseline open system the other scenarios perturb.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.6,
+            seed=seed,
+        ),
+    ),
+    "host_flap": (
+        "Steady churn plus two host failures that recover after 20 time "
+        "units — exercises eviction, re-admission and base-stream loss.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.6,
+            num_host_failures=2,
+            recovery_delay=20.0,
+            seed=seed,
+        ),
+    ),
+    "failover": (
+        "Steady churn with one permanent host failure mid-run — capacity "
+        "shrinks for good and the admission level must settle lower.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.6,
+            num_host_failures=1,
+            recovery_delay=None,
+            seed=seed,
+        ),
+    ),
+    "drift_storm": (
+        "Operator costs drift sharply every 10 time units with adaptive "
+        "re-planning every 15 — the §IV-B adaptive story end to end.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.5,
+            drift_period=10.0,
+            drift_factor=2.2,
+            drift_operators=3,
+            replan_period=15.0,
+            seed=seed,
+        ),
+    ),
+    "flash_crowd": (
+        "A 3x arrival burst in the middle third of the run with short "
+        "lifetimes — tests admission under pressure and recovery after.",
+        lambda seed: ChurnTraceConfig(
+            duration=90.0,
+            arrival_rate=0.6,
+            burst_factor=3.0,
+            burst_start_frac=1.0 / 3.0,
+            burst_end_frac=2.0 / 3.0,
+            min_lifetime=6.0,
+            lifetime_buckets=6,
+            seed=seed,
+        ),
+    ),
+}
+
+
+def build_named_churn_schedule(
+    name: str, scenario: Scenario, seed: Optional[int] = None
+) -> EventSchedule:
+    """Build the schedule of the named churn scenario over ``scenario``.
+
+    ``seed`` overrides the scenario seed (default: the scenario's own).
+    """
+    try:
+        _description, factory = CHURN_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(CHURN_SCENARIOS))
+        raise WorkloadError(
+            f"unknown churn scenario {name!r}; known scenarios: {known}"
+        ) from None
+    config = factory(scenario.seed if seed is None else seed)
+    return build_churn_schedule(scenario, config)

@@ -1,0 +1,172 @@
+"""End-to-end tests for adaptive re-planning (§IV-B).
+
+The replanner was previously only exercised indirectly (through the
+example script and the sim harness); these tests pin down its whole
+contract: victim selection from drift and overload, garbage collection of
+the victims' structures, re-admission through the normal planning path,
+``fully_recovered`` on forced drops, hook delivery, and genericity over
+allocation-keeping planners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PlannerConfig, create_planner
+from repro.core.adaptive import AdaptiveReplanner, ReplanReport, garbage_collect
+from repro.core.planner import SQPRPlanner
+from repro.dsps.plan import extract_plan
+from repro.dsps.resource_monitor import ResourceMonitor
+from repro.exceptions import PlanningError
+from tests.conftest import make_catalog, query_over
+
+
+def build_system(num_hosts: int = 3, cpu: float = 10.0):
+    catalog = make_catalog(num_hosts=num_hosts, cpu=cpu, num_base=6)
+    planner = SQPRPlanner(
+        catalog, config=PlannerConfig(time_limit=1.0, validate_after_apply=True)
+    )
+    monitor = ResourceMonitor(catalog)
+    return catalog, planner, monitor
+
+
+class TestVictimSelection:
+    def test_no_victims_without_drift(self):
+        _catalog, planner, monitor = build_system()
+        planner.submit(query_over("b0", "b1"))
+        replanner = AdaptiveReplanner(planner, monitor, drift_threshold=0.1)
+        assert replanner.queries_needing_replan() == []
+        assert replanner.maybe_replan() is None
+
+    def test_drifted_operator_selects_its_queries(self):
+        _catalog, planner, monitor = build_system()
+        q1 = planner.submit(query_over("b0", "b1"))
+        q2 = planner.submit(query_over("b2", "b3"))
+        assert q1.admitted and q2.admitted
+        # Drift an operator that only q1's plan uses.
+        plan = extract_plan(
+            planner.catalog, planner.allocation, q1.query.result_stream
+        )
+        operator_id = next(iter(plan.operators_used()))
+        monitor.set_operator_drift(operator_id, 1.5)
+
+        replanner = AdaptiveReplanner(planner, monitor, drift_threshold=0.25)
+        victims = replanner.queries_needing_replan()
+        assert q1.query.query_id in victims
+        assert q2.query.query_id not in victims
+
+    def test_overloaded_host_selects_resident_queries(self):
+        _catalog, planner, monitor = build_system()
+        q1 = planner.submit(query_over("b0", "b1"))
+        assert q1.admitted
+        plan = extract_plan(
+            planner.catalog, planner.allocation, q1.query.result_stream
+        )
+        operator_id = next(iter(plan.operators_used()))
+        # Huge drift overloads the host without counting as "drift" at the
+        # threshold used (victims must come from the overload path).
+        monitor.set_operator_drift(operator_id, 100.0)
+        replanner = AdaptiveReplanner(planner, monitor, drift_threshold=1000.0)
+        assert q1.query.query_id in replanner.queries_needing_replan()
+
+
+class TestReplanRound:
+    def test_full_recovery_and_garbage_collection(self):
+        _catalog, planner, monitor = build_system()
+        outcomes = [
+            planner.submit(query_over("b0", "b1")),
+            planner.submit(query_over("b2", "b3")),
+        ]
+        assert all(o.admitted for o in outcomes)
+        victims = [outcomes[0].query.query_id]
+
+        reports = []
+        planner.on_replan(reports.append)
+        replanner = AdaptiveReplanner(planner, monitor)
+        report = replanner.replan(victims)
+
+        assert report.victims == victims
+        assert report.readmitted == victims
+        assert report.dropped == []
+        assert report.fully_recovered
+        # The hook observed the same report.
+        assert reports == [report]
+        # Both queries are admitted again and the allocation is clean and
+        # minimal (garbage collection left nothing dangling).
+        assert planner.allocation.admitted_queries == {
+            o.query.query_id for o in outcomes
+        }
+        assert planner.allocation.validate() == []
+        rebuilt = garbage_collect(planner.catalog, planner.allocation)
+        assert rebuilt.placements == planner.allocation.placements
+        assert rebuilt.flows == planner.allocation.flows
+
+    def test_forced_drop_sets_fully_recovered_false(self):
+        # Two hosts; queries fill both.  Host 1 then dies *behind the
+        # replanner's back* (catalog-level), so its queries become victims
+        # whose re-admission must fail on the single crowded survivor.
+        catalog = make_catalog(num_hosts=2, cpu=1.2, num_base=4)
+        planner = SQPRPlanner(catalog, config=PlannerConfig(time_limit=1.0))
+        monitor = ResourceMonitor(catalog)
+        admitted = []
+        for names in [("b0", "b1"), ("b2", "b3"), ("b1", "b2"), ("b0", "b3")]:
+            outcome = planner.submit(query_over(*names))
+            if outcome.admitted:
+                admitted.append(outcome.query.query_id)
+        assert len(admitted) >= 2
+        used_hosts = {h for (h, _o) in planner.allocation.placements}
+        assert len(used_hosts) == 2, "need load on both hosts to force drops"
+
+        catalog.deactivate_host(1)
+        replanner = AdaptiveReplanner(planner, monitor)
+        victims = replanner.queries_needing_replan()
+        assert victims, "queries stranded on the dead host must be victims"
+        report = replanner.replan(victims)
+        assert not report.fully_recovered
+        assert report.dropped, "no capacity left: someone must be dropped"
+        assert set(report.readmitted) | set(report.dropped) == set(victims)
+        # Nothing references the dead host afterwards.
+        assert all(h != 1 for (h, _o) in planner.allocation.placements)
+        assert planner.allocation.validate() == []
+
+    def test_replan_unknown_victims_is_noop(self):
+        _catalog, planner, monitor = build_system()
+        outcome = planner.submit(query_over("b0", "b1"))
+        replanner = AdaptiveReplanner(planner, monitor)
+        report = replanner.replan([999])
+        assert report.victims == []
+        assert report.fully_recovered
+        assert outcome.query.query_id in planner.allocation.admitted_queries
+
+    def test_maybe_replan_runs_only_with_enough_victims(self):
+        _catalog, planner, monitor = build_system()
+        q1 = planner.submit(query_over("b0", "b1"))
+        plan = extract_plan(
+            planner.catalog, planner.allocation, q1.query.result_stream
+        )
+        monitor.set_operator_drift(next(iter(plan.operators_used())), 2.0)
+        replanner = AdaptiveReplanner(planner, monitor, drift_threshold=0.25)
+        assert replanner.maybe_replan(min_victims=5) is None
+        report = replanner.maybe_replan()
+        assert isinstance(report, ReplanReport)
+        assert report.victims
+
+
+class TestGenericity:
+    def test_heuristic_planner_can_be_replanned(self):
+        catalog = make_catalog(num_hosts=3, cpu=10.0, num_base=6)
+        planner = create_planner("heuristic", catalog)
+        monitor = ResourceMonitor(catalog)
+        outcome = planner.submit(query_over("b0", "b1"))
+        assert outcome.admitted
+        replanner = AdaptiveReplanner(planner, monitor)
+        report = replanner.replan([outcome.query.query_id])
+        assert report.fully_recovered
+        assert planner.allocation.validate() == []
+
+    def test_planner_without_allocation_is_rejected(self):
+        catalog = make_catalog()
+        bound = create_planner("optimistic", catalog)
+        monitor = ResourceMonitor(catalog)
+        with pytest.raises(PlanningError):
+            AdaptiveReplanner(bound, monitor)

@@ -106,3 +106,30 @@ class TestClusterEngine:
         engine.reset()
         assert engine.report().num_admitted_queries == 0
         assert engine.num_deployments == 0
+
+    def test_reset_clears_shared_monitor_drift(self, deployed):
+        # Regression: reset() used to leave the shared ResourceMonitor with
+        # the previous repetition's drift factors, so a fresh repetition
+        # observed phantom drift and replanned queries that never drifted.
+        catalog, query, operator, engine = deployed
+        engine.monitor.set_operator_drift(operator.operator_id, 3.0)
+        assert engine.monitor.drifted_operators(threshold=0.1) == [
+            operator.operator_id
+        ]
+        engine.reset()
+        assert engine.monitor.drift_of(operator.operator_id) == 1.0
+        assert engine.monitor.drifted_operators(threshold=0.1) == []
+
+    def test_reset_reactivates_failed_hosts(self, deployed):
+        catalog, query, operator, engine = deployed
+        engine.fail_host(2)
+        assert catalog.host_ids == [0, 1]
+        engine.reset()
+        assert catalog.host_ids == [0, 1, 2]
+
+    def test_monitor_reset_drift_is_explicit(self, deployed):
+        catalog, query, operator, engine = deployed
+        monitor = ResourceMonitor(catalog)
+        monitor.set_operator_drift(operator.operator_id, 2.0)
+        monitor.reset_drift()
+        assert monitor.drift_of(operator.operator_id) == 1.0

@@ -1,0 +1,140 @@
+"""Tests for the churn timeline experiment driver and its figure/JSON
+outputs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dsps.query import DecompositionMode
+from repro.exceptions import SimulationError
+from repro.experiments.figures import fig8_churn_timeline
+from repro.experiments.timeline import (
+    _main,
+    export_metrics_json,
+    run_churn_experiment,
+    run_named_churn_experiment,
+    summarise,
+    timeline_figure,
+)
+from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+
+def tiny_scenario():
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=3,
+            num_base_streams=8,
+            host_cpu_capacity=5.0,
+            host_bandwidth=150.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=3,
+        )
+    )
+
+
+QUICK_TRACE = ChurnTraceConfig(
+    duration=25.0, arrival_rate=0.4, arities=(2,), seed=4
+)
+
+
+class TestRunChurnExperiment:
+    def test_runs_every_planner_on_fresh_catalogs(self):
+        scenario = tiny_scenario()
+        results = run_churn_experiment(
+            ["heuristic", "optimistic"], scenario, trace=QUICK_TRACE
+        )
+        assert set(results) == {"heuristic", "optimistic"}
+        for sim in results.values():
+            assert sim.counters["arrivals"] > 0
+            assert sim.final_violations == []
+        # Same schedule for everyone: identical arrival counts.
+        counts = {sim.counters["arrivals"] for sim in results.values()}
+        assert len(counts) == 1
+
+    def test_trace_and_schedule_are_exclusive(self):
+        scenario = tiny_scenario()
+        schedule = build_churn_schedule(scenario, QUICK_TRACE)
+        with pytest.raises(SimulationError):
+            run_churn_experiment(
+                ["heuristic"], scenario, trace=QUICK_TRACE, schedule=schedule
+            )
+
+    def test_prebuilt_schedule_accepted(self):
+        scenario = tiny_scenario()
+        schedule = build_churn_schedule(scenario, QUICK_TRACE)
+        results = run_churn_experiment(["heuristic"], scenario, schedule=schedule)
+        assert results["heuristic"].counters["arrivals"] == schedule.num_arrivals
+
+    def test_named_experiment_and_unknown_name(self):
+        from repro.exceptions import WorkloadError
+
+        scenario = tiny_scenario()
+        results = run_named_churn_experiment(
+            ["heuristic"], scenario, "steady_churn", record_every=4
+        )
+        assert results["heuristic"].counters["arrivals"] > 0
+        with pytest.raises(WorkloadError):
+            run_named_churn_experiment(["heuristic"], scenario, "nope")
+
+
+class TestOutputs:
+    def test_timeline_figure_series(self):
+        scenario = tiny_scenario()
+        results = run_churn_experiment(
+            ["heuristic", "optimistic"], scenario, trace=QUICK_TRACE
+        )
+        figure = timeline_figure(results, title="test")
+        assert "heuristic_active" in figure.series
+        assert "optimistic_active" in figure.series
+        assert "time" in figure.series
+        assert len(figure.series["heuristic_active"]) == len(figure.series["time"])
+        assert figure.to_text()  # renders
+
+    def test_export_metrics_json(self, tmp_path):
+        scenario = tiny_scenario()
+        results = run_churn_experiment(["heuristic"], scenario, trace=QUICK_TRACE)
+        out = tmp_path / "metrics.json"
+        export_metrics_json(results, str(out))
+        payload = json.loads(out.read_text())
+        assert payload["heuristic"]["counters"]["arrivals"] > 0
+        assert payload["heuristic"]["ticks"]
+
+    def test_summarise_rows(self):
+        scenario = tiny_scenario()
+        results = run_churn_experiment(["heuristic"], scenario, trace=QUICK_TRACE)
+        rows = summarise(results)
+        assert rows[0][0] == "heuristic"
+        assert len(rows[0]) == 6
+
+    def test_fig8_churn_timeline(self):
+        figure = fig8_churn_timeline(
+            scenario=tiny_scenario(),
+            scenario_name="steady_churn",
+            planners=("heuristic",),
+            record_every=5,
+        )
+        assert figure.figure == "Fig 8"
+        assert "heuristic_active" in figure.series
+
+    def test_cli_quick_mode(self, tmp_path, capsys):
+        out = tmp_path / "CHURN_metrics.json"
+        _main(
+            [
+                "--quick",
+                "--scenario",
+                "steady_churn",
+                "--planners",
+                "heuristic",
+                "--out",
+                str(out),
+            ]
+        )
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "churn scenario" in captured.out

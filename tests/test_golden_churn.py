@@ -1,0 +1,100 @@
+"""Golden regression test: a seeded 200+-event churn scenario.
+
+The per-planner admission/rejection/drop counters of one fixed schedule
+are committed as ``tests/fixtures/golden_churn.json``.  Simulator or
+planner refactors that change *any* of these numbers fail loudly here
+instead of silently shifting results.
+
+When a change is intentional, regenerate the fixture and commit it::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_churn.py -q
+
+The scenario is deliberately solver-deterministic: small enough that the
+MILP planner solves every round to proven optimality (``time_limit=None``),
+so no number in the fixture depends on machine speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.query import DecompositionMode
+from repro.sim import SimulationHarness
+from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_churn.json"
+PLANNERS = ("heuristic", "optimistic", "soda", "sqpr")
+
+GOLDEN_SCENARIO = SimulationScenarioConfig(
+    num_hosts=3,
+    num_base_streams=8,
+    host_cpu_capacity=5.0,
+    host_bandwidth=150.0,
+    decomposition=DecompositionMode.CANONICAL,
+    seed=3,
+)
+
+GOLDEN_TRACE = ChurnTraceConfig(
+    duration=185.0,
+    arrival_rate=0.55,
+    arities=(2,),
+    min_lifetime=8.0,
+    num_host_failures=2,
+    recovery_delay=25.0,
+    drift_period=12.0,
+    drift_factor=2.2,
+    replan_period=18.0,
+    seed=2011,
+)
+
+
+def run_golden(planner_name: str):
+    scenario = build_simulation_scenario(GOLDEN_SCENARIO)
+    schedule = build_churn_schedule(scenario, GOLDEN_TRACE)
+    planner = create_planner(
+        planner_name, scenario.build_catalog(), config=PlannerConfig(time_limit=None)
+    )
+    return SimulationHarness(planner).run(schedule)
+
+
+def observed_entry(result) -> dict:
+    return {
+        "counters": dict(sorted(result.counters.items())),
+        "final_active": result.final_active,
+    }
+
+
+def test_schedule_has_at_least_200_events():
+    scenario = build_simulation_scenario(GOLDEN_SCENARIO)
+    schedule = build_churn_schedule(scenario, GOLDEN_TRACE)
+    assert len(schedule) >= 200
+    counts = schedule.counts_by_kind()
+    assert counts["HostFailure"] == 2
+    assert counts["LoadDrift"] > 0
+    assert counts["ReplanTick"] > 0
+
+
+@pytest.mark.slow
+def test_golden_churn_counts_match_fixture():
+    observed = {name: observed_entry(run_golden(name)) for name in PLANNERS}
+
+    if os.environ.get("REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(observed, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {FIXTURE}")
+
+    expected = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert observed == expected, (
+        "churn simulation results drifted from the committed fixture; if "
+        "this change is intentional, regenerate with REGEN_GOLDEN=1 and "
+        "commit the new fixture"
+    )

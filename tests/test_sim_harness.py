@@ -1,0 +1,456 @@
+"""Tests for the discrete-event churn simulation harness and its substrate:
+query retirement, host lifecycle, schedule generation and the determinism
+contract (same seed => identical results, for all four registry planners)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PlannerConfig, available_planners, create_planner
+from repro.dsps.engine import ClusterEngine
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
+from repro.exceptions import CatalogError, SimulationError
+from repro.sim import (
+    EventSchedule,
+    HostFailure,
+    QueryArrival,
+    QueryDeparture,
+    SimulationHarness,
+    merge_schedules,
+)
+from repro.workloads.churn import (
+    CHURN_SCENARIOS,
+    ChurnTraceConfig,
+    build_churn_schedule,
+    build_named_churn_schedule,
+)
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+from tests.conftest import make_catalog, query_over
+
+
+def churn_scenario(seed: int = 3):
+    """A tiny scenario on which every planner (including SQPR at full
+    optimality) simulates a schedule in well under a second."""
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=3,
+            num_base_streams=8,
+            host_cpu_capacity=5.0,
+            host_bandwidth=150.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=seed,
+        )
+    )
+
+
+def full_churn_config(seed: int = 5) -> ChurnTraceConfig:
+    """Arrivals + departures + a host failure/recovery + drift + replanning."""
+    return ChurnTraceConfig(
+        duration=40.0,
+        arrival_rate=0.4,
+        arities=(2,),
+        num_host_failures=1,
+        recovery_delay=12.0,
+        drift_period=9.0,
+        drift_factor=2.5,
+        replan_period=13.0,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- retire
+class TestRetire:
+    def test_retire_removes_query_and_garbage_collects(self, tiny_planner):
+        q1 = tiny_planner.submit(query_over("b0", "b1"))
+        q2 = tiny_planner.submit(query_over("b2", "b3"))
+        assert q1.admitted and q2.admitted
+        before = len(tiny_planner.allocation.placements)
+
+        assert tiny_planner.retire(q1.query.query_id) is True
+        allocation = tiny_planner.allocation
+        assert q1.query.query_id not in allocation.admitted_queries
+        assert q2.query.query_id in allocation.admitted_queries
+        # The retired query's structures are gone (allocation shrank) and
+        # what survives is still feasible.
+        assert len(allocation.placements) < before
+        assert allocation.validate() == []
+        assert not allocation.is_provided(q1.query.result_stream)
+        assert allocation.is_provided(q2.query.result_stream)
+
+    def test_retire_is_idempotent_and_reject_safe(self, tiny_planner):
+        outcome = tiny_planner.submit(query_over("b0", "b1"))
+        qid = outcome.query.query_id
+        assert tiny_planner.retire(qid) is True
+        assert tiny_planner.retire(qid) is False
+        assert tiny_planner.retire(999) is False
+
+    def test_retire_keeps_shared_result_stream(self, tiny_planner):
+        # Two identical queries: the second is a duplicate admission.  The
+        # result stream must stay provided until *both* are gone.
+        q1 = tiny_planner.submit(query_over("b0", "b1"))
+        q2 = tiny_planner.submit(query_over("b0", "b1"))
+        assert q2.duplicate
+        stream = q1.query.result_stream
+        assert tiny_planner.retire(q1.query.query_id)
+        assert tiny_planner.allocation.is_provided(stream)
+        assert tiny_planner.retire(q2.query.query_id)
+        assert not tiny_planner.allocation.is_provided(stream)
+
+    @pytest.mark.parametrize("name", sorted(available_planners()))
+    def test_every_registry_planner_supports_retire(self, name):
+        catalog = make_catalog(num_hosts=3, cpu=8.0, num_base=4)
+        planner = create_planner(name, catalog, config=PlannerConfig(time_limit=1.0))
+        outcome = planner.submit(query_over("b0", "b1"))
+        assert outcome.admitted
+        qid = outcome.query.query_id
+        assert qid in planner.active_queries
+        assert planner.retire(qid) is True
+        assert qid not in planner.active_queries
+        assert planner.retire(qid) is False
+
+    def test_optimistic_retire_equals_replay(self):
+        catalog = make_catalog(num_hosts=2, cpu=3.0, num_base=4)
+        planner = create_planner("optimistic", catalog)
+        outcomes = [
+            planner.submit(query_over("b0", "b1")),
+            planner.submit(query_over("b1", "b2")),
+            planner.submit(query_over("b2", "b3")),
+        ]
+        victim = outcomes[1].query.query_id
+        planner.retire(victim)
+
+        replayed = create_planner("optimistic", catalog)
+        for outcome in outcomes:
+            if outcome.query.query_id != victim:
+                replayed.submit(outcome.query)
+        assert planner.active_queries == replayed.active_queries
+        assert planner.cpu_used == pytest.approx(replayed.cpu_used)
+
+
+# -------------------------------------------------------------- host lifecycle
+class TestHostLifecycle:
+    def test_fail_host_hides_it_from_planners(self):
+        catalog = make_catalog(num_hosts=3, cpu=8.0, num_base=4)
+        assert catalog.host_ids == [0, 1, 2]
+        catalog.deactivate_host(1)
+        assert catalog.host_ids == [0, 2]
+        assert not catalog.is_host_active(1)
+        # Base streams injected at the failed host disappear...
+        assert all(1 not in catalog.base_hosts_of(s)
+                   for s in [s.stream_id for s in catalog.streams.base_streams])
+        catalog.activate_host(1)
+        assert catalog.host_ids == [0, 1, 2]
+
+    def test_fail_host_evicts_victims_and_revalidates(self, tiny_planner):
+        outcomes = [
+            tiny_planner.submit(query_over("b0", "b1")),
+            tiny_planner.submit(query_over("b2", "b3")),
+        ]
+        assert all(o.admitted for o in outcomes)
+        engine = ClusterEngine(tiny_planner.catalog)
+        engine.adopt(tiny_planner.allocation)
+
+        used_hosts = {h for (h, _o) in engine.allocation.placements}
+        victim_host = sorted(used_hosts)[0]
+        report = engine.fail_host(victim_host)
+        assert report.clean
+        assert report.victims  # something ran there
+        # Nothing in the surviving allocation references the dead host.
+        assert all(h != victim_host for (h, _o) in engine.allocation.placements)
+        assert all(
+            victim_host not in (src, dst)
+            for (src, dst, _s) in engine.allocation.flows
+        )
+        assert engine.allocation.validate() == []
+
+    def test_fail_host_drops_stale_structures_without_victims(self):
+        # Redundant residue on a host no plan uses (e.g. left by a timed-out
+        # incumbent with garbage collection disabled) must not survive that
+        # host's failure as a liveness violation.
+        from repro.dsps.plan import extract_plan
+
+        # b0 and b3 are both injected at host 0 (round-robin over 3 hosts),
+        # so the heuristic plans the whole query there, leaving idle hosts.
+        catalog = make_catalog(num_hosts=3, num_base=4)
+        planner = create_planner("heuristic", catalog)
+        outcome = planner.submit(query_over("b0", "b3"))
+        assert outcome.admitted
+        engine = ClusterEngine(catalog, strict=False)
+        engine.adopt(planner.allocation)
+        plan = extract_plan(catalog, engine.allocation, outcome.query.result_stream)
+        idle_host = next(h for h in catalog.host_ids if h not in plan.hosts_used())
+        stale_stream = outcome.query.result_stream
+        engine.allocation.available.add((idle_host, stale_stream))
+
+        report = engine.fail_host(idle_host)
+        assert report.victims == []
+        assert report.clean
+        assert (idle_host, stale_stream) not in engine.allocation.available
+
+    def test_fail_host_twice_raises(self):
+        catalog = make_catalog()
+        engine = ClusterEngine(catalog)
+        engine.fail_host(0)
+        with pytest.raises(CatalogError):
+            engine.fail_host(0)
+        engine.restore_host(0)
+        with pytest.raises(CatalogError):
+            engine.restore_host(0)
+
+    def test_offline_host_structures_are_violations(self, tiny_catalog):
+        planner = create_planner("heuristic", tiny_catalog)
+        outcome = planner.submit(query_over("b0", "b1"))
+        assert outcome.admitted
+        allocation = planner.allocation
+        host = next(iter({h for (h, _o) in allocation.placements}))
+        tiny_catalog.deactivate_host(host)
+        violations = allocation.validate()
+        assert any("liveness" in v for v in violations)
+        tiny_catalog.activate_host(host)
+        assert allocation.validate() == []
+
+    def test_optimistic_topology_change_shrinks_capacity(self):
+        catalog = make_catalog(num_hosts=2, cpu=2.0, num_base=4)
+        planner = create_planner("optimistic", catalog)
+        planner.submit(query_over("b0", "b1"))
+        planner.submit(query_over("b2", "b3"))
+        assert planner.cpu_capacity == pytest.approx(4.0)
+        catalog.deactivate_host(1)
+        dropped = planner.on_topology_change()
+        assert planner.cpu_capacity == pytest.approx(2.0)
+        assert planner.cpu_used <= planner.cpu_capacity + 1e-9
+        # Whatever was dropped is consistent with the active view.
+        assert set(dropped) & planner.active_queries == set()
+
+    def test_engine_reset_clears_drift_and_offline_hosts(self):
+        catalog = make_catalog()
+        engine = ClusterEngine(catalog)
+        planner = create_planner("heuristic", catalog)
+        outcome = planner.submit(query_over("b0", "b1"))
+        operator_id = next(o for (_h, o) in planner.allocation.placements)
+        engine.monitor.set_operator_drift(operator_id, 5.0)
+        engine.fail_host(0)
+        engine.reset()
+        assert engine.monitor.drift_of(operator_id) == 1.0
+        assert catalog.host_ids == [0, 1, 2]
+        assert len(engine.allocation.admitted_queries) == 0
+
+
+# ------------------------------------------------------------------- schedules
+class TestSchedules:
+    def test_schedule_generation_is_deterministic(self):
+        scenario = churn_scenario()
+        config = full_churn_config()
+        first = build_churn_schedule(scenario, config)
+        second = build_churn_schedule(scenario, config)
+        assert first.events == second.events
+        assert first.num_arrivals > 0
+        counts = first.counts_by_kind()
+        assert counts["HostFailure"] == 1
+        assert counts.get("LoadDrift", 0) > 0
+        assert counts.get("ReplanTick", 0) > 0
+        assert counts.get("QueryDeparture", 0) > 0
+
+    def test_schedule_validation(self):
+        item = QueryWorkloadItem(base_names=("b0", "b1"))
+        with pytest.raises(SimulationError):
+            EventSchedule(
+                events=[
+                    QueryArrival(time=2.0, item=item, arrival_index=0),
+                    QueryArrival(time=1.0, item=item, arrival_index=1),
+                ]
+            )
+        with pytest.raises(SimulationError):
+            EventSchedule(events=[QueryDeparture(time=1.0, arrival_index=5)])
+        # A departure scheduled before its own arrival is invalid too.
+        with pytest.raises(SimulationError):
+            EventSchedule(
+                events=[
+                    QueryDeparture(time=1.0, arrival_index=0),
+                    QueryArrival(time=2.0, item=item, arrival_index=0),
+                ]
+            )
+
+    def test_named_scenarios_build(self):
+        scenario = churn_scenario()
+        assert len(CHURN_SCENARIOS) >= 4
+        for name in CHURN_SCENARIOS:
+            schedule = build_named_churn_schedule(name, scenario)
+            assert len(schedule) > 0
+            assert schedule.num_arrivals > 0
+
+    def test_flash_crowd_bursts(self):
+        scenario = churn_scenario()
+        schedule = build_named_churn_schedule("flash_crowd", scenario)
+        duration = schedule.duration
+        thirds = [0, 0, 0]
+        for event in schedule:
+            if isinstance(event, QueryArrival):
+                thirds[min(2, int(3 * event.time / duration))] += 1
+        assert thirds[1] > thirds[0]
+        assert thirds[1] > thirds[2]
+
+    def test_merge_schedules_reindexes_arrivals(self):
+        item = QueryWorkloadItem(base_names=("b0", "b1"))
+        left = EventSchedule(
+            events=[
+                QueryArrival(time=1.0, item=item, arrival_index=0),
+                QueryDeparture(time=5.0, arrival_index=0),
+            ],
+            seed=1,
+            duration=10.0,
+        )
+        right = EventSchedule(
+            events=[
+                QueryArrival(time=0.5, item=item, arrival_index=0),
+                HostFailure(time=2.0, host=0),
+            ],
+            seed=2,
+            duration=10.0,
+        )
+        merged = merge_schedules(left, right)
+        assert merged.num_arrivals == 2
+        arrivals = [e for e in merged if isinstance(e, QueryArrival)]
+        assert [a.arrival_index for a in arrivals] == [0, 1]
+        assert arrivals[0].time == 0.5  # right's arrival is first in time
+        departures = [e for e in merged if isinstance(e, QueryDeparture)]
+        assert departures[0].arrival_index == 1  # re-pointed to left's arrival
+
+    def test_unknown_named_scenario(self):
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            build_named_churn_schedule("nope", churn_scenario())
+
+
+# --------------------------------------------------------------------- harness
+class TestHarness:
+    def test_departures_shrink_active_set(self):
+        scenario = churn_scenario()
+        config = ChurnTraceConfig(
+            duration=40.0, arrival_rate=0.4, arities=(2,), seed=9
+        )
+        schedule = build_churn_schedule(scenario, config)
+        planner = create_planner(
+            "heuristic", scenario.build_catalog(), config=PlannerConfig()
+        )
+        result = SimulationHarness(planner).run(schedule)
+        counters = result.counters
+        assert counters["arrivals"] == schedule.num_arrivals
+        assert counters["admitted"] + counters["rejected"] == counters["arrivals"]
+        assert counters["departures"] > 0
+        assert result.final_active == (
+            counters["admitted"] - counters["departures"] - counters["dropped"]
+        )
+        assert result.final_violations == []
+        assert len(planner.active_queries) == result.final_active
+
+    def test_full_churn_all_planners_deterministic(self):
+        """Acceptance criterion: a seeded simulation with arrivals,
+        departures, a host failure and drift-triggered replanning completes
+        for all four planners with identical results across two runs."""
+        scenario = churn_scenario()
+        schedule = build_churn_schedule(scenario, full_churn_config())
+        for name in sorted(available_planners()):
+            fingerprints = []
+            for _run in range(2):
+                planner = create_planner(
+                    name,
+                    scenario.build_catalog(),
+                    config=PlannerConfig(time_limit=None),
+                )
+                result = SimulationHarness(planner).run(schedule)
+                assert result.final_violations == []
+                fingerprints.append(result.fingerprint())
+            assert fingerprints[0] == fingerprints[1], name
+
+    def test_host_failure_evicts_and_readmits(self):
+        scenario = churn_scenario()
+        schedule = build_churn_schedule(scenario, full_churn_config())
+        planner = create_planner(
+            "heuristic", scenario.build_catalog(), config=PlannerConfig()
+        )
+        result = SimulationHarness(planner).run(schedule)
+        assert result.counters["host_failures"] == 1
+        assert result.counters["host_recoveries"] == 1
+        # Every re-admission pairs an eviction, and the net dropped count
+        # can never go negative.
+        assert 0 <= result.counters["readmitted"] <= result.counters["evicted"]
+        assert result.counters["dropped"] >= 0
+
+    def test_drift_triggers_replan_rounds(self):
+        scenario = churn_scenario()
+        config = ChurnTraceConfig(
+            duration=40.0,
+            arrival_rate=0.4,
+            arities=(2,),
+            drift_period=8.0,
+            drift_factor=3.0,
+            replan_period=10.0,
+            seed=11,
+        )
+        schedule = build_churn_schedule(scenario, config)
+        planner = create_planner(
+            "heuristic", scenario.build_catalog(), config=PlannerConfig()
+        )
+        harness = SimulationHarness(planner, drift_threshold=0.2)
+        result = harness.run(schedule)
+        assert result.counters["drift_events"] > 0
+        assert result.counters["replan_ticks"] > 0
+        assert result.counters["replan_rounds"] > 0
+
+    def test_ticks_record_trajectory(self):
+        scenario = churn_scenario()
+        schedule = build_churn_schedule(
+            scenario, ChurnTraceConfig(duration=30.0, arrival_rate=0.4, seed=2)
+        )
+        planner = create_planner("heuristic", scenario.build_catalog())
+        result = SimulationHarness(planner, record_every=3).run(schedule)
+        assert result.ticks
+        times = [t.time for t in result.ticks]
+        assert times == sorted(times)
+        assert result.ticks[-1].submitted == result.counters["arrivals"]
+        payload = result.to_json_dict()
+        assert payload["planner"] == "heuristic"
+        assert payload["counters"]["arrivals"] == result.counters["arrivals"]
+
+    def test_mismatched_catalog_rejected(self):
+        scenario = churn_scenario()
+        planner = create_planner("heuristic", scenario.build_catalog())
+        other_engine = ClusterEngine(scenario.build_catalog())
+        with pytest.raises(SimulationError):
+            SimulationHarness(planner, engine=other_engine)
+
+    def test_warm_started_planner_keeps_dropped_counter_non_negative(self):
+        # Queries admitted *before* run() are unknown to the harness's
+        # active map; their eviction/readmission on a host failure must not
+        # drive the cumulative dropped counter negative.
+        scenario = churn_scenario()
+        catalog = scenario.build_catalog()
+        planner = create_planner("heuristic", catalog, config=PlannerConfig())
+        for item in scenario.workload(6, arities=(2,)):
+            planner.submit(item)
+        assert planner.num_admitted > 0
+
+        used = {h for (h, _o) in planner.allocation.placements}
+        schedule = EventSchedule(
+            events=[HostFailure(time=1.0, host=sorted(used)[0])],
+            seed=1,
+            duration=2.0,
+        )
+        result = SimulationHarness(planner).run(schedule)
+        assert result.counters["evicted"] > 0
+        assert result.counters["dropped"] >= 0
+        for tick in result.ticks:
+            assert tick.dropped >= 0
+
+    def test_optimistic_runs_without_allocation(self):
+        scenario = churn_scenario()
+        schedule = build_churn_schedule(scenario, full_churn_config())
+        planner = create_planner("optimistic", scenario.build_catalog())
+        result = SimulationHarness(planner).run(schedule)
+        assert result.counters["arrivals"] == schedule.num_arrivals
+        assert result.final_active == len(planner.active_queries)

@@ -1,0 +1,208 @@
+"""Property-based tests of the churn simulation invariants.
+
+For *any* randomly generated (valid) event sequence — arrivals,
+departures, host failures/recoveries, drift, replan ticks — the harness
+must keep the system consistent:
+
+* the live allocation validates cleanly after the run (the harness already
+  checks after every event; these tests re-assert the end state),
+* the planner's statistics agree with a replay-from-scratch of the
+  surviving queries: exact state equality for the optimistic bound (whose
+  retirement *is* a replay), and structural equality for allocation
+  planners (the allocation is exactly what the surviving queries need —
+  garbage collection left nothing behind).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.plan import extract_plan, rebuild_minimal_allocation
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
+from repro.sim import (
+    EventSchedule,
+    HostFailure,
+    HostRecovery,
+    LoadDrift,
+    QueryArrival,
+    QueryDeparture,
+    ReplanTick,
+    SimulationHarness,
+)
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+BASE_NAMES = [f"b{i}" for i in range(8)]
+NUM_HOSTS = 3
+
+
+def tiny_scenario():
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=NUM_HOSTS,
+            num_base_streams=len(BASE_NAMES),
+            host_cpu_capacity=5.0,
+            host_bandwidth=150.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=3,
+        )
+    )
+
+
+@st.composite
+def event_schedules(draw, max_events: int = 18):
+    """Generate a valid random event schedule.
+
+    Validity constraints mirror the real system: departures reference an
+    existing arrival (at most once), failures target an active host while
+    at least two are up, recoveries target an offline host.
+    """
+    num_events = draw(st.integers(min_value=1, max_value=max_events))
+    events = []
+    arrival_index = 0
+    departed = set()
+    offline = set()
+    for position in range(num_events):
+        time = float(position)
+        choices = ["arrive", "drift", "replan"]
+        if arrival_index - len(departed) > 0:
+            choices.append("depart")
+        if NUM_HOSTS - len(offline) >= 2:
+            choices.append("fail")
+        if offline:
+            choices.append("recover")
+        action = draw(st.sampled_from(choices))
+        if action == "arrive":
+            names = draw(
+                st.sets(st.sampled_from(BASE_NAMES), min_size=2, max_size=3)
+            )
+            events.append(
+                QueryArrival(
+                    time=time,
+                    item=QueryWorkloadItem(base_names=tuple(sorted(names))),
+                    arrival_index=arrival_index,
+                )
+            )
+            arrival_index += 1
+        elif action == "depart":
+            candidates = [
+                i for i in range(arrival_index) if i not in departed
+            ]
+            index = draw(st.sampled_from(candidates))
+            departed.add(index)
+            events.append(QueryDeparture(time=time, arrival_index=index))
+        elif action == "fail":
+            host = draw(
+                st.sampled_from([h for h in range(NUM_HOSTS) if h not in offline])
+            )
+            offline.add(host)
+            events.append(HostFailure(time=time, host=host))
+        elif action == "recover":
+            host = draw(st.sampled_from(sorted(offline)))
+            offline.discard(host)
+            events.append(HostRecovery(time=time, host=host))
+        elif action == "drift":
+            factor = draw(
+                st.floats(min_value=0.5, max_value=3.0, allow_nan=False)
+            )
+            events.append(LoadDrift(time=time, factor=factor, num_operators=2))
+        else:
+            events.append(ReplanTick(time=time))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return EventSchedule(events=events, seed=seed, duration=float(num_events))
+
+
+common_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestChurnInvariants:
+    @given(schedule=event_schedules())
+    @common_settings
+    def test_heuristic_allocation_valid_and_minimal_after_any_sequence(
+        self, schedule
+    ):
+        scenario = tiny_scenario()
+        planner = create_planner("heuristic", scenario.build_catalog())
+        # validate_invariants=True re-checks after *every* event; reaching
+        # the end means no intermediate state was ever infeasible.
+        result = SimulationHarness(planner).run(schedule)
+        allocation = planner.allocation
+        assert allocation.validate() == []
+        assert result.final_violations == []
+
+        # Replay-from-scratch structure: garbage collection must have left
+        # exactly what the surviving queries need — rebuilding the minimal
+        # allocation from the survivors changes nothing.
+        rebuilt = rebuild_minimal_allocation(planner.catalog, allocation)
+        assert rebuilt.admitted_queries == allocation.admitted_queries
+        assert rebuilt.placements == allocation.placements
+        assert rebuilt.flows == allocation.flows
+        assert rebuilt.available == allocation.available
+        assert rebuilt.provided == allocation.provided
+
+        # Stats agree with the active view, and every survivor has a
+        # structurally valid plan (C1-C4).
+        assert planner.num_admitted == len(planner.active_queries)
+        for query_id in planner.active_queries:
+            query = planner.catalog.get_query(query_id)
+            plan = extract_plan(planner.catalog, allocation, query.result_stream)
+            assert plan.is_valid(planner.catalog)
+
+    @given(schedule=event_schedules())
+    @common_settings
+    def test_optimistic_state_equals_replay_of_survivors(self, schedule):
+        scenario = tiny_scenario()
+        catalog = scenario.build_catalog()
+        planner = create_planner("optimistic", catalog)
+        SimulationHarness(planner).run(schedule)
+
+        # Replay exactly the surviving queries, in their admission order,
+        # on a fresh planner over the same catalog and topology: the
+        # aggregate accounting must come out identical.
+        replayed = create_planner("optimistic", catalog)
+        for query_id in planner._admitted_order:
+            outcome = replayed.submit(catalog.get_query(query_id))
+            assert outcome.admitted
+        assert replayed.active_queries == planner.active_queries
+        assert replayed.cpu_used == pytest.approx(planner.cpu_used)
+        assert replayed.cpu_capacity == pytest.approx(planner.cpu_capacity)
+
+    @given(schedule=event_schedules(max_events=10))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @pytest.mark.slow
+    def test_sqpr_allocation_valid_after_any_sequence(self, schedule):
+        scenario = tiny_scenario()
+        planner = create_planner(
+            "sqpr", scenario.build_catalog(), config=PlannerConfig(time_limit=None)
+        )
+        result = SimulationHarness(planner).run(schedule)
+        allocation = planner.allocation
+        assert allocation.validate() == []
+        assert result.final_violations == []
+        assert planner.num_admitted == len(planner.active_queries)
+        for query_id in planner.active_queries:
+            query = planner.catalog.get_query(query_id)
+            plan = extract_plan(planner.catalog, allocation, query.result_stream)
+            assert plan.is_valid(planner.catalog)
+
+    @given(schedule=event_schedules(max_events=12))
+    @common_settings
+    def test_soda_allocation_valid_after_any_sequence(self, schedule):
+        scenario = tiny_scenario()
+        planner = create_planner("soda", scenario.build_catalog())
+        result = SimulationHarness(planner).run(schedule)
+        assert planner.allocation.validate() == []
+        assert result.final_violations == []
+        assert planner.num_admitted == len(planner.active_queries)
