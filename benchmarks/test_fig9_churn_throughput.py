@@ -1,0 +1,171 @@
+"""Benchmark "Figure 9": churn throughput of the indexed allocation state.
+
+PR 3's simulation harness re-validated the full allocation after every
+arrival/departure/failure/drift event, and every hot accessor of
+``Allocation`` was a full scan, so simulated churn throughput collapsed
+quadratically with cluster size.  This benchmark pins the fix: it drives
+the *same* churn schedules (built from the named ``CHURN_SCENARIOS``
+configurations, with the arrival rate scaled to the host count) through
+the heuristic planner twice per size —
+
+* ``indexed``: the default ``validation_mode="delta"`` harness, which
+  validates only what each event touched via the incrementally maintained
+  indexes, and
+* ``naive``: ``validation_mode="full"``, the pre-index behaviour of one
+  complete O(allocation + hosts²) oracle scan per event —
+
+and records end-to-end events/sec plus the mean per-event validation cost
+of each mode.  Both runs must produce identical simulation fingerprints
+(delta validation is a pure optimisation), and at the largest size the
+indexed mode must validate at least ``MIN_VALIDATE_SPEEDUP``× cheaper and
+sustain at least ``MIN_THROUGHPUT_SPEEDUP``× the naive events/sec.
+
+The report is written to ``BENCH_churn.json`` at the repository root
+(format documented in ``docs/benchmarks.md``).  Set ``CHURN_BENCH_QUICK=1``
+for the smaller CI mode and ``CHURN_BENCH_OUT`` to redirect the report.
+No pytest-benchmark plugin needed:
+
+    pytest benchmarks/test_fig9_churn_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.api import create_planner
+from repro.dsps.query import DecompositionMode
+from repro.sim import SimulationHarness
+from repro.workloads.churn import CHURN_SCENARIOS, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+#: Host counts per measured size; the largest carries the assertions.
+FULL_SIZES = [4, 8, 16, 24]
+QUICK_SIZES = [8, 24]
+
+#: Which named churn scenario the schedules are derived from.
+SCENARIO_NAME = "host_flap"
+PLANNER = "heuristic"
+SEED = 2024
+
+MIN_VALIDATE_SPEEDUP = 5.0
+MIN_THROUGHPUT_SPEEDUP = 3.0
+
+
+def _schedule_for(num_hosts: int):
+    """The scaled churn scenario for one host count.
+
+    The base-stream universe and the arrival rate grow with the cluster so
+    the active query population — and with it the allocation size — scales
+    along the same axis the ROADMAP north-star targets.
+    """
+    scenario = build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=num_hosts,
+            num_base_streams=4 * num_hosts,
+            host_cpu_capacity=6.0,
+            host_bandwidth=300.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=3,
+        )
+    )
+    config = CHURN_SCENARIOS[SCENARIO_NAME][1](SEED)
+    config = replace(config, arrival_rate=0.12 * num_hosts, duration=60.0)
+    return scenario, build_churn_schedule(scenario, config)
+
+
+def _run(scenario, schedule, mode: str):
+    planner = create_planner(PLANNER, scenario.build_catalog())
+    harness = SimulationHarness(planner, validation_mode=mode)
+    start = time.perf_counter()
+    result = harness.run(schedule)
+    elapsed = time.perf_counter() - start
+    assert result.final_violations == []
+    return {
+        "events_per_second": len(schedule) / elapsed,
+        "validate_us_per_event": 1e6 * result.validate_seconds / result.validate_calls,
+        "run_seconds": elapsed,
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def test_fig9_churn_throughput_report():
+    quick = bool(os.environ.get("CHURN_BENCH_QUICK"))
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    out_path = Path(
+        os.environ.get(
+            "CHURN_BENCH_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_churn.json",
+        )
+    )
+
+    records = []
+    for num_hosts in sizes:
+        scenario, schedule = _schedule_for(num_hosts)
+        indexed = _run(scenario, schedule, "delta")
+        naive = _run(scenario, schedule, "full")
+
+        # Delta validation must be a pure optimisation: identical planner
+        # decisions and counters, event for event.
+        assert indexed.pop("fingerprint") == naive.pop("fingerprint"), (
+            f"validation mode changed simulation results at {num_hosts} hosts"
+        )
+
+        validate_speedup = (
+            naive["validate_us_per_event"] / indexed["validate_us_per_event"]
+        )
+        throughput_speedup = (
+            indexed["events_per_second"] / naive["events_per_second"]
+        )
+        records.append(
+            {
+                "num_hosts": num_hosts,
+                "num_events": len(schedule),
+                "indexed": {k: round(v, 3) for k, v in indexed.items()},
+                "naive": {k: round(v, 3) for k, v in naive.items()},
+                "validate_speedup": round(validate_speedup, 2),
+                "throughput_speedup": round(throughput_speedup, 2),
+            }
+        )
+        print(
+            f"fig9 churn throughput: hosts={num_hosts} events={len(schedule)} "
+            f"indexed={indexed['events_per_second']:.0f} ev/s "
+            f"({indexed['validate_us_per_event']:.0f} us/ev) "
+            f"naive={naive['events_per_second']:.0f} ev/s "
+            f"({naive['validate_us_per_event']:.0f} us/ev) "
+            f"validate={validate_speedup:.1f}x throughput={throughput_speedup:.2f}x"
+        )
+
+    report = {
+        "figure": "fig9_churn_throughput",
+        "quick_mode": quick,
+        "scenario": SCENARIO_NAME,
+        "planner": PLANNER,
+        "seed": SEED,
+        "baseline_mode": "full",
+        "candidate_mode": "delta",
+        "min_validate_speedup_at_largest": MIN_VALIDATE_SPEEDUP,
+        "min_throughput_speedup_at_largest": MIN_THROUGHPUT_SPEEDUP,
+        "sizes": records,
+        "largest": records[-1],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"fig9 churn-throughput report written to {out_path}")
+
+    largest = records[-1]
+    assert largest["validate_speedup"] >= MIN_VALIDATE_SPEEDUP, (
+        f"indexed validation is only {largest['validate_speedup']}x cheaper "
+        f"than the naive full scan at {largest['num_hosts']} hosts; "
+        f"expected >= {MIN_VALIDATE_SPEEDUP}x"
+    )
+    assert largest["throughput_speedup"] >= MIN_THROUGHPUT_SPEEDUP, (
+        f"indexed churn throughput is only {largest['throughput_speedup']}x "
+        f"the naive baseline at {largest['num_hosts']} hosts; "
+        f"expected >= {MIN_THROUGHPUT_SPEEDUP}x"
+    )

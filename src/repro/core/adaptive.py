@@ -43,6 +43,9 @@ class ReplanReport:
     victims: List[int] = field(default_factory=list)
     readmitted: List[int] = field(default_factory=list)
     dropped: List[int] = field(default_factory=list)
+    #: Delta-validation result over the structures the round touched
+    #: (empty in normal operation; see :meth:`AdaptiveReplanner.replan`).
+    violations: List[str] = field(default_factory=list)
 
     @property
     def fully_recovered(self) -> bool:
@@ -136,5 +139,14 @@ class AdaptiveReplanner:
                 report.readmitted.append(victim)
             else:
                 report.dropped.append(victim)
+        # Re-validate only the structures the round actually moved.  The
+        # allocation's pending touched accumulator already covers them (the
+        # garbage-collection rebuild seeds it via inherit_touched and the
+        # re-admissions extend it), so peek at it — without draining, so a
+        # driving harness still sees the round's touches in its own
+        # per-event check — instead of re-diffing the whole state.
+        final = self.planner.allocation
+        if final is not None:
+            report.violations = final.validate_delta(*final.peek_touched())
         self.planner._notify_replan(report)
         return report

@@ -189,9 +189,11 @@ def build_model(
     load_var = model.add_continuous("max_load", 0.0, max_cpu_capacity * 10.0 + 1.0)
 
     # Availability credit: protected scope streams already available at a host
-    # through immutable structures stay available there.
-    for h, s in allocation.available:
-        if s in protected_streams:
+    # through immutable structures stay available there.  The stream→hosts
+    # index makes this O(|protected| × degree) instead of a full scan of
+    # every availability entry in the system.
+    for s in protected_streams:
+        for h in allocation.hosts_with_stream(s):
             built.availability_credit.add((h, s))
 
     # --------------------------------------------------------- demand constraints
@@ -388,8 +390,23 @@ def allocation_fingerprint(allocation: Allocation) -> Tuple:
     The model depends on the allocation through background resource usage
     (flows, placements), availability credits (``available``), protection of
     structures shared with untouched queries (``admitted_queries``) and the
-    provided map.  Two allocations with equal fingerprints therefore produce
-    identical models for the same scope and flags.
+    provided map.  This returns the allocation's *rolling* fingerprint — an
+    order-independent XOR digest maintained in O(1) per mutation by
+    ``Allocation.apply`` and friends — so fingerprinting a planning round
+    costs O(1) instead of re-hashing every structure in the system.  Equal
+    contents always fingerprint equally; distinct contents collide only
+    with 64-bit-hash probability (see :meth:`Allocation.fingerprint`).
+    """
+    return allocation.fingerprint()
+
+
+def allocation_fingerprint_exact(allocation: Allocation) -> Tuple:
+    """The exact (content-enumerating) fingerprint, kept as a test oracle.
+
+    O(allocation size) — this is what every planning round used to pay
+    before the rolling fingerprint; ``tests/test_allocation_indexes.py``
+    compares the two across random mutation histories to pin the
+    equal-content ⇒ equal-fingerprint contract.
     """
     return (
         frozenset(allocation.flows),
@@ -415,9 +432,11 @@ class ModelReuseCache:
     fingerprinting cost.
 
     Keys include a :func:`catalog_fingerprint` and an
-    :func:`allocation_fingerprint`, so a hit is only possible when the
-    model would be rebuilt bit-for-bit identical; reuse never changes
-    planning results.
+    :func:`allocation_fingerprint` — the allocation part is the O(1)
+    rolling digest maintained by ``Allocation.apply``, so keying a round no
+    longer re-hashes the whole system state.  A hit therefore means the
+    model would be rebuilt identically (up to the astronomically unlikely
+    64-bit digest collision); reuse never changes planning results.
     """
 
     def __init__(self, max_entries: int = 8) -> None:

@@ -48,6 +48,9 @@ class OptimisticBoundPlanner(Planner):
         self._produced_streams: Set[int] = set()
         self._admitted_results: Set[int] = set()
         self._admitted_order: List[int] = []
+        #: Result stream of each entry of ``_admitted_order`` (kept parallel
+        #: so retirement can detect free riders without catalog lookups).
+        self._admitted_streams: List[int] = []
 
     def reset(self) -> None:
         """Forget all outcomes and release the aggregate CPU budget."""
@@ -56,6 +59,7 @@ class OptimisticBoundPlanner(Planner):
         self._produced_streams.clear()
         self._admitted_results.clear()
         self._admitted_order.clear()
+        self._admitted_streams.clear()
 
     # ------------------------------------------------------------------ lifecycle
     @property
@@ -67,15 +71,30 @@ class OptimisticBoundPlanner(Planner):
         """Remove an admitted query and replay the survivors from scratch.
 
         The bound's state (produced streams, consumed CPU) is the result of
-        order-dependent greedy accounting, so the only faithful way to
-        release exactly what the departing query paid for — and nothing a
-        surviving query still relies on — is to replay the surviving
-        queries in their original admission order.  The replayed state is
-        identical to submitting only the survivors, which is the invariant
-        the property-based churn tests pin down.
+        order-dependent greedy accounting, so the faithful way to release
+        exactly what the departing query paid for — and nothing a surviving
+        query still relies on — is to replay the surviving queries in their
+        original admission order.  The replayed state is identical to
+        submitting only the survivors, which is the invariant the
+        property-based churn tests pin down.
+
+        Free riders skip the replay entirely: a query whose result stream
+        was already admitted by an *earlier* entry paid nothing and marked
+        nothing as produced, so a replay without it would reproduce the
+        current accounting step for step — removal from the admission order
+        is the whole retirement.  Under result-stream sharing (the Zipf
+        workloads) this turns most retirements into O(n) list surgery
+        instead of a full greedy re-plan of every survivor.
         """
-        if query_id not in self._admitted_order:
+        try:
+            index = self._admitted_order.index(query_id)
+        except ValueError:
             return False
+        stream = self._admitted_streams[index]
+        if stream in self._admitted_streams[:index]:
+            del self._admitted_order[index]
+            del self._admitted_streams[index]
+            return True
         survivors = [qid for qid in self._admitted_order if qid != query_id]
         self._replay(survivors)
         return True
@@ -98,11 +117,13 @@ class OptimisticBoundPlanner(Planner):
         self._produced_streams.clear()
         self._admitted_results.clear()
         self._admitted_order = []
+        self._admitted_streams = []
         dropped: List[int] = []
         for query_id in query_ids:
             query = self.catalog.get_query(query_id)
             if query.result_stream in self._admitted_results:
                 self._admitted_order.append(query_id)
+                self._admitted_streams.append(query.result_stream)
                 continue
             marginal_cpu, operators = self._cheapest_plan_cost(query)
             if self.cpu_used + marginal_cpu > self.cpu_capacity + 1e-9:
@@ -114,6 +135,7 @@ class OptimisticBoundPlanner(Planner):
                 operator = self.catalog.get_operator(operator_id)
                 self._produced_streams.add(operator.output_stream)
             self._admitted_order.append(query_id)
+            self._admitted_streams.append(query.result_stream)
         return dropped
 
     def _cheapest_plan_cost(self, query: Query) -> tuple:
@@ -169,6 +191,7 @@ class OptimisticBoundPlanner(Planner):
         if query.result_stream in self._admitted_results:
             if query.query_id not in self._admitted_order:
                 self._admitted_order.append(query.query_id)
+                self._admitted_streams.append(query.result_stream)
             outcome = PlanningOutcome(
                 query=query,
                 admitted=True,
@@ -183,6 +206,7 @@ class OptimisticBoundPlanner(Planner):
             self.cpu_used += marginal_cpu
             self._admitted_results.add(query.result_stream)
             self._admitted_order.append(query.query_id)
+            self._admitted_streams.append(query.result_stream)
             # Mark every intermediate stream of the chosen plan as produced.
             for operator_id in operators:
                 operator = self.catalog.get_operator(operator_id)

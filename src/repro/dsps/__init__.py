@@ -23,7 +23,12 @@ from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import Query, QueryWorkloadItem
 from repro.dsps.cost_model import LinearCostModel
 from repro.dsps.plan import PlanNode, QueryPlan
-from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.allocation import (
+    Allocation,
+    PlacementDelta,
+    delta_touched_sets,
+    touched_between,
+)
 from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
 from repro.dsps.engine import ClusterEngine, DeploymentReport
 
@@ -44,6 +49,8 @@ __all__ = [
     "QueryPlan",
     "Allocation",
     "PlacementDelta",
+    "delta_touched_sets",
+    "touched_between",
     "ResourceMonitor",
     "ResourceSample",
     "ClusterEngine",

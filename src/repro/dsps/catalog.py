@@ -156,6 +156,15 @@ class SystemCatalog:
             return frozenset()
         return frozenset(self._base_at_host.get(host_id, set()))
 
+    def base_streams_registered_at(self, host_id: int) -> FrozenSet[int]:
+        """Base streams whose injection point is ``host_id``, alive or not.
+
+        Unlike :meth:`base_streams_at` this ignores liveness: delta
+        validation uses it to learn which streams *lost* a source when a
+        host went offline, so their flow graphs can be re-checked.
+        """
+        return frozenset(self._base_at_host.get(host_id, set()))
+
     def stream_rate(self, stream_id: int) -> float:
         """ϱ_s for any registered stream."""
         return self.streams.get(stream_id).rate

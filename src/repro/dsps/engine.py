@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.allocation import Allocation, PlacementDelta, delta_touched_sets
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.plan import extract_plan, rebuild_minimal_allocation
 from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
@@ -86,6 +86,11 @@ class ClusterEngine:
         self.monitor = monitor or ResourceMonitor(catalog)
         self.strict = strict
         self._deploy_log: List[PlacementDelta] = []
+        # Whether the live allocation is known feasible.  A fresh (empty)
+        # allocation trivially is; adopt() takes arbitrary external state,
+        # so the first strict deploy after an adoption falls back to a full
+        # validation before delta checks can be trusted again.
+        self._base_validated = True
 
     # --------------------------------------------------------------- deployment
     def deploy(self, delta: PlacementDelta) -> None:
@@ -93,16 +98,33 @@ class ClusterEngine:
 
         With ``strict=True`` (the default) the engine refuses deltas that
         would leave the allocation in an infeasible state, mirroring a real
-        DSPS that would fail to instantiate an over-committed plan.
+        DSPS that would fail to instantiate an over-committed plan.  The
+        check is delta-based once the live allocation is known feasible:
+        only the entities the delta touches need re-validation
+        (:func:`~repro.dsps.allocation.delta_touched_sets`).  The first
+        strict deploy after :meth:`adopt` — whose input is arbitrary
+        external state — runs one full validation to (re-)establish that
+        baseline.
         """
         candidate = self.allocation.copy()
         candidate.apply(delta)
         if self.strict:
-            violations = candidate.validate()
+            if self._base_validated:
+                violations = candidate.validate_delta(
+                    *delta_touched_sets(delta, self.catalog)
+                )
+            else:
+                violations = candidate.validate()
             if violations:
                 raise AllocationError(
                     "refusing to deploy an infeasible delta: " + "; ".join(violations[:5])
                 )
+            self._base_validated = True
+        else:
+            # Non-strict deploys apply the delta unchecked, so the live
+            # allocation's feasibility is unknown from here on; the next
+            # host-change report or strict deploy runs the full oracle.
+            self._base_validated = False
         self.allocation = candidate
         self._deploy_log.append(delta)
 
@@ -111,19 +133,31 @@ class ClusterEngine:
         """How many deltas have been deployed."""
         return len(self._deploy_log)
 
-    def adopt(self, allocation: Allocation) -> None:
+    def adopt(self, allocation: Allocation, trusted: bool = False) -> None:
         """Make ``allocation`` the engine's live allocation.
 
         The simulation harness keeps a planner's live allocation and the
         engine's in sync through this method: planners with allocation state
         replace (not mutate) their allocation object on garbage collection,
         so sharing by identity is not possible.
+
+        Adoption performs no validation of its own — the adopted object
+        carries its incremental indexes and touched tracking with it, so the
+        caller (the harness) validates exactly what the surrounding event
+        touched instead of the engine re-scanning the whole allocation here.
+
+        ``trusted=True`` declares the adopted state already known feasible
+        (the harness validates after every event, so what it hands back is
+        exactly what it last checked); the engine then keeps using
+        delta-based checks.  Untrusted adoptions make the next strict
+        deploy / host-change report fall back to one full validation.
         """
         if allocation.catalog is not self.catalog:
             raise AllocationError(
                 "cannot adopt an allocation built on a different catalog"
             )
         self.allocation = allocation
+        self._base_validated = bool(trusted)
 
     # ------------------------------------------------------------ host lifecycle
     @property
@@ -175,9 +209,10 @@ class ClusterEngine:
         if not self.catalog.is_host_active(host_id):
             raise CatalogError(f"host {host_id} is already offline")
         self.catalog.deactivate_host(host_id)
+        previous = self.allocation
         victims = self.victims_of_host(host_id)
         if victims:
-            self.allocation = self.allocation.without_queries(victims)
+            self.allocation = previous.without_queries(victims)
         else:
             # Even with no victims the allocation may carry redundant
             # structures on the dead host that no extracted plan uses (a
@@ -186,8 +221,24 @@ class ClusterEngine:
             self.allocation = rebuild_minimal_allocation(
                 self.catalog, self.allocation
             )
+        # Re-validate only what the failure touched: the structures dropped
+        # by garbage collection plus the failed host itself.  The rebuilt
+        # allocation's pending accumulator already holds the ground-truth
+        # diff (seeded by inherit_touched); peek at it instead of
+        # re-diffing, and leave it in place for the harness's own check.
+        # A base of unknown feasibility (untrusted adopt) gets the full
+        # oracle instead, since delta checks cannot see its prior state.
+        if self._base_validated:
+            hosts, streams, operators = self.allocation.peek_touched()
+            hosts.add(host_id)
+            violations = self.allocation.validate_delta(hosts, streams, operators)
+        else:
+            violations = self.allocation.validate()
+        # Either way, a report with violations means the base can no longer
+        # be trusted for delta-only checks.
+        self._base_validated = not violations
         return HostChangeReport(
-            host=host_id, victims=victims, violations=self.allocation.validate()
+            host=host_id, victims=victims, violations=violations
         )
 
     def restore_host(self, host_id: int) -> HostChangeReport:
@@ -195,7 +246,16 @@ class ClusterEngine:
         if self.catalog.is_host_active(host_id):
             raise CatalogError(f"host {host_id} is already online")
         self.catalog.activate_host(host_id)
-        return HostChangeReport(host=host_id, violations=self.allocation.validate())
+        # Recovery only adds capacity and base-stream injection points; the
+        # allocation itself is unchanged, so only the host's own constraints
+        # need a look — unless the base came from an untrusted adopt, in
+        # which case the full oracle (re-)establishes feasibility.
+        if self._base_validated:
+            violations = self.allocation.validate_delta({host_id})
+        else:
+            violations = self.allocation.validate()
+        self._base_validated = not violations
+        return HostChangeReport(host=host_id, violations=violations)
 
     # ---------------------------------------------------------------- reporting
     def report(self) -> DeploymentReport:
@@ -222,6 +282,7 @@ class ClusterEngine:
         failed host back online so repetitions start from identical state.
         """
         self.allocation = Allocation(self.catalog)
+        self._base_validated = True
         self._deploy_log.clear()
         self.monitor.reset_drift()
         for host_id in self.catalog.hosts.offline_ids:

@@ -281,4 +281,9 @@ def rebuild_minimal_allocation(catalog: SystemCatalog, allocation) -> "Allocatio
                 if child.host != node.host:
                     rebuilt.flows.add((child.host, node.host, child.output_stream))
                     rebuilt.available.add((node.host, child.output_stream))
+    # Seed the rebuilt allocation's touched tracking with the net change
+    # against its source (plus the source's own pending touches), so delta
+    # validation of the successor object covers the whole event even across
+    # the object replacement this rebuild performs.
+    rebuilt.inherit_touched(allocation)
     return rebuilt

@@ -30,16 +30,31 @@ constraint violations (``validate_invariants=True``, the default) and
 raises :class:`~repro.exceptions.SimulationError` on the first violation,
 so a decoding or garbage-collection bug surfaces at the event that caused
 it rather than as a corrupted end-state.
+
+Invariant checking is *delta-based* by default (``validation_mode="delta"``):
+the harness validates only the hosts/streams/operators an event actually
+touched — drained from the allocation's incremental touched tracking when
+the event mutated the allocation in place, or recovered via
+:func:`~repro.dsps.allocation.touched_between` when the event replaced the
+allocation object (garbage collection, host failure, re-planning).  Events
+that touch nothing (idle replan ticks, drift) skip validation entirely.
+``validation_mode="full"`` restores the pre-index behaviour — a full
+:meth:`~repro.dsps.allocation.Allocation.validate` scan after every event —
+and is what the churn-throughput benchmark uses as its naive baseline.
+Either way the full oracle still runs once on the final state
+(``result.final_violations``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.api.base import Planner
 from repro.core.adaptive import AdaptiveReplanner
+from repro.dsps.allocation import Allocation, touched_between
 from repro.dsps.engine import ClusterEngine
 from repro.exceptions import SimulationError
 from repro.sim.events import (
@@ -101,6 +116,13 @@ class SimulationResult:
     ticks: List[TickMetrics] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     final_violations: List[str] = field(default_factory=list)
+    #: How invariants were checked during the run ("delta" or "full"), how
+    #: many per-event validations ran, and the wall-clock they consumed.
+    #: Excluded from :meth:`fingerprint` — wall-clock is never part of the
+    #: determinism digest.
+    validation_mode: str = "delta"
+    validate_calls: int = 0
+    validate_seconds: float = 0.0
 
     @property
     def final_active(self) -> int:
@@ -130,6 +152,11 @@ class SimulationResult:
             "counters": dict(sorted(self.counters.items())),
             "final_active": self.final_active,
             "final_violations": list(self.final_violations),
+            "validation": {
+                "mode": self.validation_mode,
+                "calls": self.validate_calls,
+                "seconds": round(self.validate_seconds, 6),
+            },
             "ticks": [asdict(tick) for tick in self.ticks],
         }
 
@@ -157,8 +184,16 @@ class SimulationHarness:
         Relative drift above which an operator's queries become replan
         victims (forwarded to the auto-built replanner).
     validate_invariants:
-        Check ``allocation.validate()`` after every event and raise
+        Check the planner's allocation after every event and raise
         :class:`SimulationError` on the first violation.
+    validation_mode:
+        ``"delta"`` (default) validates only what each event touched via
+        :meth:`~repro.dsps.allocation.Allocation.validate_delta`;
+        ``"full"`` runs the complete
+        :meth:`~repro.dsps.allocation.Allocation.validate` oracle after
+        every event (the naive pre-index behaviour, kept as the benchmark
+        baseline).  Both modes raise on the same violations for valid
+        simulations, and both end with one full-oracle pass.
     record_every:
         Record a :class:`TickMetrics` every N processed events (the final
         event is always recorded).
@@ -172,6 +207,7 @@ class SimulationHarness:
         drift_threshold: float = 0.25,
         auto_replanner: bool = True,
         validate_invariants: bool = True,
+        validation_mode: str = "delta",
         record_every: int = 1,
     ) -> None:
         self.planner = planner
@@ -180,13 +216,20 @@ class SimulationHarness:
             raise SimulationError(
                 "engine and planner must share one catalog instance"
             )
+        if validation_mode not in ("delta", "full"):
+            raise SimulationError(
+                f"validation_mode must be 'delta' or 'full', got {validation_mode!r}"
+            )
         if replanner is None and auto_replanner and planner.allocation is not None:
             replanner = AdaptiveReplanner(
                 planner, self.engine.monitor, drift_threshold=drift_threshold
             )
         self.replanner = replanner
         self.validate_invariants = validate_invariants
+        self.validation_mode = validation_mode
         self.record_every = max(1, record_every)
+        self.validate_calls = 0
+        self.validate_seconds = 0.0
 
     # ------------------------------------------------------------------ running
     def run(self, schedule: EventSchedule) -> SimulationResult:
@@ -194,10 +237,22 @@ class SimulationHarness:
         planner = self.planner
         catalog = planner.catalog
         rng = ensure_rng(schedule.seed + 0x5EED)
-        result = SimulationResult(planner_name=planner.name, seed=schedule.seed)
+        result = SimulationResult(
+            planner_name=planner.name,
+            seed=schedule.seed,
+            validation_mode=self.validation_mode,
+        )
         counters = result.counters
         for name in COUNTER_NAMES:
             counters[name] = 0
+        self.validate_calls = 0
+        self.validate_seconds = 0.0
+        # Delta-validation baseline: discard touched state accumulated before
+        # the run (e.g. by a warmed-up planner) and remember the allocation
+        # object identity so replaced allocations are diffed, not drained.
+        prev_allocation = planner.allocation
+        if prev_allocation is not None:
+            prev_allocation.drain_touched()
 
         #: arrival_index -> query_id for still-active queries, and the
         #: reverse map so a re-admitted victim re-occupies its slot.
@@ -217,7 +272,14 @@ class SimulationHarness:
 
         def sync_engine() -> None:
             if planner.allocation is not None:
-                self.engine.adopt(planner.allocation)
+                # With invariant checking on, the state handed back is
+                # exactly what the harness last validated, so the engine may
+                # keep using delta-based checks on it.  With checking off
+                # that guarantee is gone and the engine's own host-change
+                # reports fall back to the full oracle.
+                self.engine.adopt(
+                    planner.allocation, trusted=self.validate_invariants
+                )
 
         for position, event in enumerate(schedule):
             if isinstance(event, QueryArrival):
@@ -299,7 +361,13 @@ class SimulationHarness:
                 raise SimulationError(f"unknown event kind {event.kind!r}")
 
             sync_engine()
-            self._check_invariants(event)
+            if isinstance(event, (HostFailure, HostRecovery)):
+                extra_hosts: Set[int] = {event.host}
+            else:
+                extra_hosts = set()
+            prev_allocation = self._check_invariants(
+                event, prev_allocation, extra_hosts
+            )
             if (
                 position % self.record_every == 0
                 or position == len(schedule) - 1
@@ -308,6 +376,8 @@ class SimulationHarness:
 
         if planner.allocation is not None:
             result.final_violations = planner.allocation.validate()
+        result.validate_calls = self.validate_calls
+        result.validate_seconds = self.validate_seconds
         return result
 
     # ------------------------------------------------------------------ helpers
@@ -322,7 +392,9 @@ class SimulationHarness:
         """
         allocation = self.planner.allocation
         if allocation is not None:
-            candidates = sorted({op for (_h, op) in allocation.placements})
+            # host→operators / operator→hosts are maintained incrementally;
+            # no need to re-scan every placement pair per drift event.
+            candidates = allocation.placed_operators()
         else:
             candidates = sorted(
                 operator.operator_id for operator in self.planner.catalog.operators
@@ -334,18 +406,62 @@ class SimulationHarness:
         for offset in sorted(int(i) for i in chosen):
             self.engine.monitor.set_operator_drift(candidates[offset], event.factor)
 
-    def _check_invariants(self, event: SimEvent) -> None:
-        if not self.validate_invariants:
-            return
+    def _check_invariants(
+        self,
+        event: SimEvent,
+        prev_allocation: Optional[Allocation],
+        extra_hosts: Set[int],
+    ) -> Optional[Allocation]:
+        """Validate what ``event`` touched; return the new baseline allocation.
+
+        With ``validation_mode="delta"`` the touched sets come from the
+        allocation's own mutation tracking (in-place events) or from a
+        ground-truth diff against the previous allocation object (events
+        that replace the allocation, e.g. garbage collection on departure).
+        ``extra_hosts`` carries entities an event touches without mutating
+        the allocation — the host of a failure/recovery.
+        """
         allocation = self.planner.allocation
         if allocation is None:
-            return
-        violations = allocation.validate()
+            return None
+        if not self.validate_invariants:
+            # Keep the touched accumulator drained so it cannot grow without
+            # bound across a long unvalidated run.
+            allocation.drain_touched()
+            return allocation
+        start = time.perf_counter()
+        if self.validation_mode == "full":
+            allocation.drain_touched()
+            violations = allocation.validate()
+        else:
+            # The accumulator is complete even across object replacements:
+            # copies inherit pending touches and rebuilds re-seed them via
+            # Allocation.inherit_touched.  Only a replacement that arrives
+            # with *no* pending touches (a path that bypassed those hooks,
+            # e.g. a planner reset to a fresh allocation) falls back to a
+            # defensive ground-truth diff against the previous object.
+            hosts, streams, operators = allocation.drain_touched()
+            if (
+                allocation is not prev_allocation
+                and prev_allocation is not None
+                and not (hosts or streams or operators)
+            ):
+                hosts, streams, operators = touched_between(
+                    prev_allocation, allocation
+                )
+            hosts |= extra_hosts
+            if hosts or streams or operators:
+                violations = allocation.validate_delta(hosts, streams, operators)
+            else:
+                violations = []
+        self.validate_seconds += time.perf_counter() - start
+        self.validate_calls += 1
         if violations:
             raise SimulationError(
                 f"invariant violated after {event.kind} at t={event.time:g}: "
                 + "; ".join(violations[:3])
             )
+        return allocation
 
     def _tick(
         self, event: SimEvent, counters: Dict[str, int], num_active: int

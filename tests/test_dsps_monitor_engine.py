@@ -93,6 +93,91 @@ class TestClusterEngine:
         engine.deploy(PlacementDelta(add_available={(0, 1)}))
         assert engine.allocation.is_available(0, 1)
 
+    def test_host_change_after_unchecked_deploy_runs_full_oracle(self):
+        # A non-strict deploy applies deltas unchecked, so a later
+        # host-change report must not delta-validate around the changed
+        # host only: it falls back to the full oracle and surfaces the
+        # violation the unchecked delta introduced elsewhere.
+        catalog = make_catalog(cpu=0.5)
+        query = catalog.register_query(query_over("b0", "b1"))
+        operator = catalog.producers_of(query.result_stream)[0]
+        engine = ClusterEngine(catalog, strict=False)
+        engine.fail_host(2)
+        engine.deploy(
+            PlacementDelta(
+                add_available={(1, 1), (0, 0), (0, 1), (0, query.result_stream)},
+                add_flows={(1, 0, 1)},
+                add_placements={(0, operator.operator_id)},  # CPU overload
+                set_provided={query.result_stream: 0},
+                admit_queries={query.query_id},
+            )
+        )
+        report = engine.restore_host(2)
+        assert any("CPU overload" in v for v in report.violations)
+
+    def test_strict_deploy_after_adopt_checks_full_base(self):
+        # Delta-based deploy validation assumes a feasible base; adopt()
+        # takes arbitrary external state, so the first strict deploy after
+        # an adoption must fall back to a full validation and reject a
+        # pre-existing violation even when the delta itself is harmless.
+        catalog = make_catalog()
+        engine = ClusterEngine(catalog)
+        from repro.dsps.allocation import Allocation
+
+        tainted = Allocation(catalog)
+        tainted.available.add((2, 1))  # no source: infeasible base
+        engine.adopt(tainted)
+        with pytest.raises(AllocationError):
+            engine.deploy(PlacementDelta(add_available={(0, 0)}))
+
+    def test_fail_host_reports_preexisting_violations_on_untrusted_base(self):
+        # An untrusted adopt means the engine cannot assume feasibility, so
+        # a host-change report must come from the full oracle and surface
+        # violations that predate (and are unrelated to) the failed host.
+        # The taint must be one garbage collection keeps: a CPU-overloaded
+        # but structurally valid placement of an admitted query.
+        from repro.dsps.allocation import Allocation
+
+        catalog = make_catalog(cpu=0.5)  # operator costs ~1.1 > capacity
+        query = catalog.register_query(query_over("b0", "b1"))
+        operator = catalog.producers_of(query.result_stream)[0]
+        tainted = Allocation(catalog)
+        tainted.apply(
+            PlacementDelta(
+                add_available={(1, 1), (0, 0), (0, 1), (0, query.result_stream)},
+                add_flows={(1, 0, 1)},
+                add_placements={(0, operator.operator_id)},
+                set_provided={query.result_stream: 0},
+                admit_queries={query.query_id},
+            )
+        )
+        tainted.drain_touched()
+        assert any("CPU overload" in v for v in tainted.validate())
+
+        engine = ClusterEngine(catalog)
+        engine.adopt(tainted)
+        report = engine.fail_host(2)  # unrelated host, no victims
+        assert any("CPU overload" in v for v in report.violations)
+        # A trusted adopt restores the delta-validation fast path: the
+        # slice around the unrelated host never looks at the stale taint.
+        engine.restore_host(2)
+        engine.adopt(tainted.copy(), trusted=True)
+        report = engine.fail_host(2)
+        assert report.clean
+
+    def test_strict_deploy_after_adopting_feasible_state_works(self, deployed):
+        catalog, query, operator, engine = deployed
+        fresh = ClusterEngine(catalog)
+        fresh.adopt(engine.allocation.copy())
+        # Feasible adopted base: the (full) re-validation passes and
+        # subsequent deploys go back to delta checking.  Stream 1 is a base
+        # stream injected at host 1, so marking it available there is fine.
+        fresh.deploy(PlacementDelta(add_available={(1, 1)}))
+        assert fresh.allocation.is_available(1, 1)
+        bad = PlacementDelta(add_available={(2, query.result_stream)})
+        with pytest.raises(AllocationError):
+            fresh.deploy(bad)
+
     def test_report_contents(self, deployed):
         catalog, query, operator, engine = deployed
         report = engine.report()
