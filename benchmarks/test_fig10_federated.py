@@ -1,0 +1,139 @@
+"""Benchmark "Figure 10": federated partitioned planning vs the global MILP.
+
+The federated planner decomposes admission by site: a query whose base
+streams colocate in one site is planned by that site's inner planner
+against a site-local catalog view, so its MILP spans ``HOSTS_PER_SITE``
+hosts no matter how many sites the federation has.  The global planner
+solves one model over *all* hosts, and MILP solve time grows superlinearly
+with model size — so partitioned planning must get relatively faster as
+sites are added.
+
+For each site count the same site-local workload (every query local to some
+site, interleaved round-robin) is planned by the global ``sqpr`` planner
+and by ``federated:sqpr``; the benchmark records wall-clock planning time
+and admissions, and asserts at the largest size
+
+* a planning-time speedup of at least ``MIN_PLANNING_SPEEDUP``×, and
+* an equal-or-better admission count for the federated planner;
+
+plus, at one site — where the federated planner degenerates to a single
+shard over the whole catalog — *identical admission decisions and an
+identical allocation fingerprint* (partitioned planning is exact on
+single-site schedules, not an approximation).
+
+The report is written to ``BENCH_federated.json`` at the repository root
+(format documented in ``docs/benchmarks.md``).  Set ``FED_BENCH_QUICK=1``
+for the smaller CI mode and ``FED_BENCH_OUT`` to redirect the report.
+No pytest-benchmark plugin needed:
+
+    pytest benchmarks/test_fig10_federated.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.federated import (
+    HOSTS_PER_SITE,
+    QUERIES_PER_SITE,
+    run_federated_scaling_experiment,
+)
+
+#: Site counts per measured size; the largest carries the assertions and
+#: the single-site point carries the exactness assertions.
+FULL_SIZES = [1, 2, 4, 6]
+QUICK_SIZES = [1, 4]
+
+INNER = "sqpr"
+TIME_LIMIT = 0.6
+SEED = 7
+
+MIN_PLANNING_SPEEDUP = 3.0
+
+
+def test_fig10_federated_scaling_report():
+    quick = bool(os.environ.get("FED_BENCH_QUICK"))
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    out_path = Path(
+        os.environ.get(
+            "FED_BENCH_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_federated.json",
+        )
+    )
+
+    raw = run_federated_scaling_experiment(
+        site_counts=sizes, inner=INNER, time_limit=TIME_LIMIT, seed=SEED
+    )
+
+    records = []
+    for entry in raw:
+        global_run, federated_run = entry["global"], entry["federated"]
+        # Both planners must leave a feasible allocation behind — including
+        # the new WAN-capacity invariants on the multi-site sizes.
+        assert global_run["violations"] == []
+        assert federated_run["violations"] == []
+        if entry["num_sites"] == 1:
+            # Exactness on single-site schedules: same decisions, same
+            # final allocation (content fingerprint), query for query.
+            assert global_run["decisions"] == federated_run["decisions"], (
+                "federated planning changed single-site admission decisions"
+            )
+            assert global_run["fingerprint"] == federated_run["fingerprint"], (
+                "federated planning changed the single-site allocation"
+            )
+        records.append(
+            {
+                "num_sites": entry["num_sites"],
+                "num_hosts": entry["num_hosts"],
+                "num_queries": entry["num_queries"],
+                "global": {
+                    "planning_seconds": round(global_run["planning_seconds"], 3),
+                    "admitted": global_run["admitted"],
+                    "submitted": global_run["submitted"],
+                },
+                "federated": {
+                    "planning_seconds": round(federated_run["planning_seconds"], 3),
+                    "admitted": federated_run["admitted"],
+                    "submitted": federated_run["submitted"],
+                },
+                "speedup": round(entry["speedup"], 2),
+            }
+        )
+        print(
+            f"fig10 federated scaling: sites={entry['num_sites']} "
+            f"hosts={entry['num_hosts']} queries={entry['num_queries']} "
+            f"global={global_run['planning_seconds']:.2f}s "
+            f"(adm {global_run['admitted']}) "
+            f"federated={federated_run['planning_seconds']:.2f}s "
+            f"(adm {federated_run['admitted']}) "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+
+    report = {
+        "figure": "fig10_federated_scaling",
+        "quick_mode": quick,
+        "inner_planner": INNER,
+        "time_limit": TIME_LIMIT,
+        "seed": SEED,
+        "hosts_per_site": HOSTS_PER_SITE,
+        "queries_per_site": QUERIES_PER_SITE,
+        "workload": "site_local",
+        "min_planning_speedup_at_largest": MIN_PLANNING_SPEEDUP,
+        "sizes": records,
+        "largest": records[-1],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"fig10 federated-scaling report written to {out_path}")
+
+    largest = records[-1]
+    assert largest["speedup"] >= MIN_PLANNING_SPEEDUP, (
+        f"federated planning is only {largest['speedup']}x faster than the "
+        f"global MILP at {largest['num_sites']} sites; "
+        f"expected >= {MIN_PLANNING_SPEEDUP}x"
+    )
+    assert largest["federated"]["admitted"] >= largest["global"]["admitted"], (
+        "federated planning admitted fewer site-local queries than the "
+        "global planner at the largest size"
+    )

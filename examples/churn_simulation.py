@@ -16,11 +16,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_simulation_scenario, SimulationScenarioConfig
-from repro.dsps.query import DecompositionMode
+from repro import (
+    CHURN_SCENARIOS,
+    DecompositionMode,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+    run_named_churn_experiment,
+)
 from repro.experiments.reporting import format_table
-from repro.experiments.timeline import run_named_churn_experiment, summarise
-from repro.workloads.churn import CHURN_SCENARIOS
+from repro.experiments.timeline import summarise
 
 
 def main() -> None:

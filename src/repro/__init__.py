@@ -28,9 +28,12 @@ Quickstart
 True
 
 Every registered planner (``available_planners()`` lists them: ``sqpr``,
-``heuristic``, ``soda``, ``optimistic``) is constructed the same way and
-returns the same :class:`PlanningOutcome` from ``submit()`` /
+``heuristic``, ``soda``, ``optimistic``, ``federated``) is constructed the
+same way and returns the same :class:`PlanningOutcome` from ``submit()`` /
 ``submit_batch()``; planner-specific details live in ``outcome.extras``.
+On federated (multi-site) catalogs, ``create_planner("federated:<inner>",
+…)`` decomposes admission by site and escalates only cross-site queries to
+a WAN-aware coordinator.
 """
 
 from repro.api import (
@@ -46,12 +49,13 @@ from repro.api import (
 )
 from repro.core.planner import SQPRPlanner
 from repro.core.adaptive import AdaptiveReplanner
+from repro.core.federated import FederatedPlanner
 from repro.core.optimistic import OptimisticBoundPlanner
 from repro.core.weights import ObjectiveWeights
 from repro.baselines.heuristic import HeuristicPlanner
 from repro.baselines.soda.planner import SodaPlanner
 from repro.dsps.allocation import Allocation, PlacementDelta
-from repro.dsps.catalog import SystemCatalog
+from repro.dsps.catalog import GatewayCatalogView, SiteCatalogView, SystemCatalog
 from repro.dsps.cost_model import LinearCostModel
 from repro.dsps.engine import ClusterEngine
 from repro.dsps.plan import QueryPlan, extract_plan
@@ -76,10 +80,13 @@ from repro.sim import (
     EventSchedule,
     SimulationHarness,
     SimulationResult,
+    SitePartition,
+    SiteRecovery,
+    WanDrift,
 )
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # unified planner API
@@ -95,6 +102,7 @@ __all__ = [
     # planners
     "SQPRPlanner",
     "AdaptiveReplanner",
+    "FederatedPlanner",
     "OptimisticBoundPlanner",
     "ObjectiveWeights",
     "HeuristicPlanner",
@@ -103,6 +111,8 @@ __all__ = [
     "Allocation",
     "PlacementDelta",
     "SystemCatalog",
+    "SiteCatalogView",
+    "GatewayCatalogView",
     "LinearCostModel",
     "ClusterEngine",
     "QueryPlan",
@@ -132,7 +142,11 @@ __all__ = [
     "EventSchedule",
     "SimulationHarness",
     "SimulationResult",
+    "SitePartition",
+    "SiteRecovery",
+    "WanDrift",
     "run_churn_experiment",
+    "run_named_churn_experiment",
     "__version__",
 ]
 
@@ -146,12 +160,12 @@ _outcome_getattr = _deprecated_outcome_getattr(
 
 
 def __getattr__(name):
-    # run_churn_experiment is resolved lazily so that running the module
+    # The timeline drivers are resolved lazily so that running the module
     # `python -m repro.experiments.timeline` does not import timeline as a
     # side effect of importing the repro package (runpy would then execute
     # the module body twice and warn).
-    if name == "run_churn_experiment":
-        from repro.experiments.timeline import run_churn_experiment
+    if name in ("run_churn_experiment", "run_named_churn_experiment"):
+        from repro.experiments import timeline
 
-        return run_churn_experiment
+        return getattr(timeline, name)
     return _outcome_getattr(name)

@@ -10,6 +10,7 @@ so that importing :mod:`repro.api` stays cheap and cycle-free.
 from __future__ import annotations
 
 import importlib
+import inspect
 from typing import Dict, List, Optional, Type
 
 from repro.api.base import Planner, PlannerConfig
@@ -29,6 +30,7 @@ _BUILTIN_MODULES = (
     "repro.baselines.heuristic",
     "repro.baselines.soda.planner",
     "repro.core.optimistic",
+    "repro.core.federated",
 )
 _builtins_loaded = False
 
@@ -140,7 +142,32 @@ def create_planner(
     through ``kwargs``.  The instance's ``name`` is the canonical registry
     name it was created under, even when the class is registered under
     several names.
+
+    Parameterised names of the form ``"<outer>:<inner>"`` (e.g.
+    ``"federated:sqpr"``) construct the planner registered under ``outer``
+    with ``inner=<inner canonical name>``; the instance's ``name`` is the
+    fully resolved ``"outer:inner"`` pair.  A literal registration under
+    the colon name always wins over the parameterised interpretation.
     """
+    canonical = resolve_planner_name(name)
+    if canonical not in _REGISTRY and ":" in name:
+        outer, _, inner = name.partition(":")
+        planner_cls = get_planner_class(outer)
+        parameters = inspect.signature(planner_cls.__init__).parameters
+        if "inner" not in parameters:
+            raise PlanningError(
+                f"planner {outer!r} is not parameterised (its constructor "
+                f"takes no 'inner'); cannot create {name!r}"
+            )
+        if "inner" in kwargs:
+            raise PlanningError(
+                f"pass the inner planner through the name ({name!r}), "
+                "not the inner= keyword"
+            )
+        inner_canonical = resolve_planner_name(inner)
+        planner = planner_cls(catalog, config=config, inner=inner_canonical, **kwargs)
+        planner.name = f"{resolve_planner_name(outer)}:{inner_canonical}"
+        return planner
     planner_cls = get_planner_class(name)
     planner = planner_cls(catalog, config=config, **kwargs)
     planner.name = resolve_planner_name(name)

@@ -193,6 +193,24 @@ class HeuristicPlanner(Planner):
                 source, host
             ) + 1e-9:
                 return None
+        if catalog.num_sites > 1:
+            # Shared WAN gateways: all new cross-site flows of this candidate
+            # must fit the remaining budget of their site pair jointly.
+            wan_added: Dict[tuple, float] = {}
+            for src, dst, stream_id in delta.add_flows:
+                src_site = catalog.site_of_host(src)
+                dst_site = catalog.site_of_host(dst)
+                if src_site != dst_site:
+                    pair = (src_site, dst_site)
+                    wan_added[pair] = wan_added.get(pair, 0.0) + catalog.stream_rate(
+                        stream_id
+                    )
+            for (src_site, dst_site), added in wan_added.items():
+                effective = catalog.effective_wan_capacity(src_site, dst_site)
+                if effective is None:
+                    continue
+                if allocation.wan_used(src_site, dst_site) + added > effective + 1e-9:
+                    return None
 
         # ------------------------------------------------------------------- score
         network_added = added_in

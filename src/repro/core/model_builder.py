@@ -293,6 +293,33 @@ def build_model(
             terms = [rate(s) * built.x_vars[(h, m, s)] for s in scope_streams]
             model.add_constr(lin_sum(terms) <= link_free, name=f"link[{h},{m}]")
 
+    if catalog.num_sites > 1:
+        # Shared WAN gateways (federated topologies): every flow crossing
+        # one ordered site pair shares that gateway's effective capacity,
+        # *across* host pairs — the per-link rows above cannot express
+        # this.  Background usage follows the same teardown-exclusion rule
+        # as the per-link background.
+        site_of = catalog.site_of_host
+        wan_rows: Dict[Tuple[int, int], List] = {}
+        for (h, m, s), x_var in built.x_vars.items():
+            src_site = site_of(h)
+            dst_site = site_of(m)
+            if src_site != dst_site:
+                wan_rows.setdefault((src_site, dst_site), []).append(
+                    rate(s) * x_var
+                )
+        for (src_site, dst_site), terms in sorted(wan_rows.items()):
+            effective = catalog.effective_wan_capacity(src_site, dst_site)
+            if effective is None:
+                continue
+            wan_free = effective - allocation.wan_used(
+                src_site, dst_site, exclude_streams=exclude_streams
+            )
+            model.add_constr(
+                lin_sum(terms) <= wan_free,
+                name=f"wan[{src_site},{dst_site}]",
+            )
+
     for m in hosts:
         bandwidth = catalog.hosts.get(m).bandwidth_capacity
         in_free = bandwidth - allocation.in_bandwidth_used(m, exclude_streams=exclude_streams)
@@ -368,6 +395,7 @@ def catalog_fingerprint(catalog: SystemCatalog, scope: ReplanScope) -> Tuple:
     explicitly.
     """
     hosts = catalog.host_ids
+    sites = catalog.sites
     return (
         tuple(
             (h, catalog.hosts.get(h).cpu_capacity, catalog.hosts.get(h).bandwidth_capacity)
@@ -375,6 +403,15 @@ def catalog_fingerprint(catalog: SystemCatalog, scope: ReplanScope) -> Tuple:
         ),
         tuple(
             catalog.link_capacity(h, m) for h in hosts for m in hosts if h != m
+        ),
+        # Effective WAN gateway state (partitions, drift): the shared-WAN
+        # rows read it, and the per-pair link capping alone does not always
+        # reveal a change (a gateway wider than the links it carries).
+        tuple(
+            (a, b, catalog.effective_wan_capacity(a, b))
+            for a in sites
+            for b in sites
+            if a != b
         ),
         tuple(
             (s, catalog.base_hosts_of(s))

@@ -368,6 +368,14 @@ class Allocation:
         self._out_bw: Dict[int, float] = {}
         self._in_bw: Dict[int, float] = {}
         self._link_bw: Dict[Tuple[int, int], float] = {}
+        # Per-site aggregates (federated topologies): CPU consumed inside
+        # each site and bandwidth crossing each ordered site pair's shared
+        # WAN gateway.  Entry counts guard the exact-zero cleanup, like the
+        # per-host caches above.
+        self._site_cpu: Dict[int, float] = {}
+        self._site_ops: Dict[int, int] = {}
+        self._wan_bw: Dict[Tuple[int, int], float] = {}
+        self._wan_count: Dict[Tuple[int, int], int] = {}
         # Rolling fingerprint + touched accumulators.
         self._fingerprint = 0
         self._touched_hosts: Set[int] = set()
@@ -390,6 +398,12 @@ class Allocation:
         inn = self._in_count.setdefault(dst, {})
         inn[stream_id] = inn.get(stream_id, 0) + 1
         self._in_bw[dst] = self._in_bw.get(dst, 0.0) + rate
+        src_site = self.catalog.site_of_host(src)
+        dst_site = self.catalog.site_of_host(dst)
+        if src_site != dst_site:
+            pair = (src_site, dst_site)
+            self._wan_bw[pair] = self._wan_bw.get(pair, 0.0) + rate
+            self._wan_count[pair] = self._wan_count.get(pair, 0) + 1
         self._fingerprint ^= hash((_FP_FLOW, src, dst, stream_id))
         self._touched_hosts.add(src)
         self._touched_hosts.add(dst)
@@ -437,6 +451,16 @@ class Allocation:
             del self._in_bw[dst]
         else:
             self._in_bw[dst] -= rate
+        src_site = self.catalog.site_of_host(src)
+        dst_site = self.catalog.site_of_host(dst)
+        if src_site != dst_site:
+            pair = (src_site, dst_site)
+            self._wan_count[pair] -= 1
+            if not self._wan_count[pair]:
+                del self._wan_count[pair]
+                del self._wan_bw[pair]
+            else:
+                self._wan_bw[pair] -= rate
         self._fingerprint ^= hash((_FP_FLOW, src, dst, stream_id))
         self._touched_hosts.add(src)
         self._touched_hosts.add(dst)
@@ -470,6 +494,9 @@ class Allocation:
         self._hosts_by_op.setdefault(operator_id, set()).add(host)
         operator = self.catalog.get_operator(operator_id)
         self._cpu_cache[host] = self._cpu_cache.get(host, 0.0) + operator.cpu_cost
+        site = self.catalog.site_of_host(host)
+        self._site_cpu[site] = self._site_cpu.get(site, 0.0) + operator.cpu_cost
+        self._site_ops[site] = self._site_ops.get(site, 0) + 1
         self._fingerprint ^= hash((_FP_PLACE, host, operator_id))
         self._touched_hosts.add(host)
         self._touched_operators.add(operator_id)
@@ -485,6 +512,13 @@ class Allocation:
         else:
             operator = self.catalog.get_operator(operator_id)
             self._cpu_cache[host] -= operator.cpu_cost
+        site = self.catalog.site_of_host(host)
+        self._site_ops[site] -= 1
+        if not self._site_ops[site]:
+            del self._site_ops[site]
+            del self._site_cpu[site]
+        else:
+            self._site_cpu[site] -= self.catalog.get_operator(operator_id).cpu_cost
         hosts = self._hosts_by_op[operator_id]
         hosts.discard(host)
         if not hosts:
@@ -572,6 +606,10 @@ class Allocation:
         clone._out_bw = dict(self._out_bw)
         clone._in_bw = dict(self._in_bw)
         clone._link_bw = dict(self._link_bw)
+        clone._site_cpu = dict(self._site_cpu)
+        clone._site_ops = dict(self._site_ops)
+        clone._wan_bw = dict(self._wan_bw)
+        clone._wan_count = dict(self._wan_count)
         clone._fingerprint = self._fingerprint
         # Pending touched state is inherited: a copy taken mid-event (the
         # garbage-collection path) must not lose track of what the event
@@ -736,6 +774,38 @@ class Allocation:
         """The O2 objective value: system-wide inter-host traffic."""
         return sum(self._link_bw.values())
 
+    # ------------------------------------------------------ per-site aggregates
+    def site_cpu_used(self, site: int) -> float:
+        """CPU consumed by operator placements inside ``site`` (O(1))."""
+        return self._site_cpu.get(site, 0.0)
+
+    def wan_used(
+        self,
+        src_site: int,
+        dst_site: int,
+        exclude_streams: Optional[Set[int]] = None,
+    ) -> float:
+        """Bandwidth crossing the shared WAN gateway ``src_site ->
+        dst_site`` (O(1); zero inside one site).
+
+        ``exclude_streams`` discounts the crossings of the given streams
+        (the re-planning background computation, mirroring
+        :meth:`link_used`).
+        """
+        total = self._wan_bw.get((src_site, dst_site), 0.0)
+        if exclude_streams and total:
+            site_of = self.catalog.site_of_host
+            rate = self.catalog.stream_rate
+            for stream_id in exclude_streams:
+                for src, dst in self._flow_edges_by_stream.get(stream_id, ()):
+                    if site_of(src) == src_site and site_of(dst) == dst_site:
+                        total -= rate(stream_id)
+        return total
+
+    def wan_usage(self) -> Dict[Tuple[int, int], float]:
+        """Snapshot of every ordered site pair with non-zero WAN traffic."""
+        return dict(self._wan_bw)
+
     # ------------------------------------------------- naive full-scan oracles
     def cpu_used_scan(self, host: int, exclude_operators: Optional[Set[int]] = None) -> float:
         """Full-scan recomputation of :meth:`cpu_used` (index-independent)."""
@@ -790,6 +860,26 @@ class Allocation:
         if self.catalog.num_hosts == 0:
             return 0.0
         return max(self.cpu_used_scan(h) for h in self.catalog.host_ids)
+
+    def site_cpu_used_scan(self, site: int) -> float:
+        """Full-scan recomputation of :meth:`site_cpu_used`."""
+        catalog = self.catalog
+        return sum(
+            catalog.get_operator(o).cpu_cost
+            for (h, o) in self.placements
+            if catalog.site_of_host(h) == site
+        )
+
+    def wan_used_scan(self, src_site: int, dst_site: int) -> float:
+        """Full-scan recomputation of :meth:`wan_used`."""
+        catalog = self.catalog
+        return sum(
+            catalog.stream_rate(s)
+            for (src, dst, s) in self.flows
+            if catalog.site_of_host(src) == src_site
+            and catalog.site_of_host(dst) == dst_site
+            and src_site != dst_site
+        )
 
     # ------------------------------------------------- fingerprint and touched
     def fingerprint(self) -> Tuple:
@@ -1018,6 +1108,37 @@ class Allocation:
                         f"resources: link {src}->{dst} overloaded"
                     )
 
+        # Federated constraints: shared WAN gateway capacities and site
+        # liveness (no stream may cross the boundary of a partitioned site).
+        # Recomputed by scanning the flows — index-free, like the rest of
+        # the oracle.
+        if catalog.num_sites > 1:
+            partitioned = set(catalog.partitioned_sites)
+            wan_usage: Dict[Tuple[int, int], float] = {}
+            for src, dst, stream_id in self.flows:
+                src_site = catalog.site_of_host(src)
+                dst_site = catalog.site_of_host(dst)
+                if src_site == dst_site:
+                    continue
+                pair = (src_site, dst_site)
+                wan_usage[pair] = wan_usage.get(pair, 0.0) + catalog.stream_rate(
+                    stream_id
+                )
+                if src_site in partitioned or dst_site in partitioned:
+                    violations.append(
+                        f"site-liveness: flow {src}->{dst} of stream {stream_id} "
+                        f"crosses a partitioned site boundary "
+                        f"({src_site}->{dst_site})"
+                    )
+            for (src_site, dst_site), used in sorted(wan_usage.items()):
+                if src_site in partitioned or dst_site in partitioned:
+                    continue  # already reported as site-liveness violations
+                capacity = catalog.effective_wan_capacity(src_site, dst_site)
+                if capacity is not None and used > capacity + tol:
+                    violations.append(
+                        f"resources: WAN gateway {src_site}->{dst_site} overloaded"
+                    )
+
         # Acyclicity (III.7): per stream, flows must form a DAG rooted at real
         # sources (operator placements or base-stream injection points).
         violations.extend(self._acyclicity_violations())
@@ -1191,6 +1312,37 @@ class Allocation:
                 continue
             if self._link_bw[(src, dst)] > catalog.link_capacity(src, dst) + tol:
                 violations.append(f"resources: link {src}->{dst} overloaded")
+
+        # Federated constraints on the sites the touched hosts belong to:
+        # shared WAN gateway capacities (via the incremental per-site-pair
+        # aggregate) and site liveness of crossing flows.
+        if catalog.num_sites > 1:
+            touched_sites = {catalog.site_of_host(h) for h in touched_hosts}
+            partitioned = set(catalog.partitioned_sites)
+            crossing: Set[FlowKey] = set()
+            for host in touched_hosts:
+                crossing |= self._flows_by_host.get(host, set())
+            for src, dst, stream_id in sorted(crossing):
+                src_site = catalog.site_of_host(src)
+                dst_site = catalog.site_of_host(dst)
+                if src_site == dst_site:
+                    continue
+                if src_site in partitioned or dst_site in partitioned:
+                    violations.append(
+                        f"site-liveness: flow {src}->{dst} of stream {stream_id} "
+                        f"crosses a partitioned site boundary "
+                        f"({src_site}->{dst_site})"
+                    )
+            for (src_site, dst_site), used in sorted(self._wan_bw.items()):
+                if src_site not in touched_sites and dst_site not in touched_sites:
+                    continue
+                if src_site in partitioned or dst_site in partitioned:
+                    continue  # already reported as site-liveness violations
+                capacity = catalog.effective_wan_capacity(src_site, dst_site)
+                if capacity is not None and used > capacity + tol:
+                    violations.append(
+                        f"resources: WAN gateway {src_site}->{dst_site} overloaded"
+                    )
 
         # Acyclicity (III.7) for touched streams only.
         for stream_id in sorted(touched_streams):

@@ -43,6 +43,7 @@ class SystemCatalog:
         cost_model: Optional[LinearCostModel] = None,
         decomposition: DecompositionMode = DecompositionMode.CANONICAL,
         default_link_capacity: float = 1000.0,
+        default_wan_capacity: Optional[float] = None,
     ) -> None:
         self.cost_model = cost_model or LinearCostModel()
         self.decomposition = decomposition
@@ -52,6 +53,14 @@ class SystemCatalog:
             "default link capacity", default_link_capacity
         )
         self._link_overrides: Dict[Tuple[int, int], float] = {}
+        if default_wan_capacity is not None:
+            default_wan_capacity = float(default_wan_capacity)
+            if default_wan_capacity < 0:
+                raise CatalogError("default WAN capacity must be non-negative")
+        self._default_wan_capacity = default_wan_capacity
+        self._wan_overrides: Dict[Tuple[int, int], float] = {}
+        self._wan_drift = 1.0
+        self._partitioned_sites: Set[int] = set()
         self._operators: List[Operator] = []
         self._operators_by_signature: Dict[Tuple, Operator] = {}
         self._producers: Dict[int, List[Operator]] = {}
@@ -66,10 +75,15 @@ class SystemCatalog:
         cpu_capacity: float,
         bandwidth_capacity: float,
         name: Optional[str] = None,
+        site: int = 0,
     ) -> Host:
-        """Register a host with the given CPU and NIC capacities."""
+        """Register a host with the given CPU and NIC capacities.
+
+        ``site`` assigns the host to a resource site; the default keeps
+        every host in site 0 (a flat cluster).
+        """
         name = name or f"host{len(self.hosts)}"
-        return self.hosts.add(name, cpu_capacity, bandwidth_capacity)
+        return self.hosts.add(name, cpu_capacity, bandwidth_capacity, site=site)
 
     @property
     def num_hosts(self) -> int:
@@ -100,23 +114,168 @@ class SystemCatalog:
         """Whether ``host_id`` is currently online."""
         return self.hosts.is_active(host_id)
 
+    # -------------------------------------------------------------------- sites
+    def site_of_host(self, host_id: int) -> int:
+        """The resource site ``host_id`` belongs to."""
+        return self.hosts.site_of(host_id)
+
+    @property
+    def sites(self) -> List[int]:
+        """Sorted distinct site ids over the registered hosts."""
+        return self.hosts.sites
+
+    @property
+    def num_sites(self) -> int:
+        """Number of distinct resource sites (1 for a flat cluster)."""
+        return self.hosts.num_sites
+
+    def hosts_in_site(self, site: int) -> List[int]:
+        """All registered host ids of ``site`` (online or not)."""
+        return self.hosts.ids_in_site(site)
+
+    def active_hosts_in_site(self, site: int) -> List[int]:
+        """Online host ids of ``site``."""
+        return self.hosts.active_ids_in_site(site)
+
+    # ------------------------------------------------------------ site lifecycle
+    def partition_site(self, site: int) -> None:
+        """Cut ``site`` off the WAN: its hosts keep running and can plan
+        site-locally, but no stream may cross its gateway until
+        :meth:`heal_site`."""
+        if site not in set(self.hosts.sites):
+            raise CatalogError(f"unknown site id {site}")
+        self._partitioned_sites.add(site)
+
+    def heal_site(self, site: int) -> None:
+        """Re-attach a partitioned site to the WAN."""
+        if site not in set(self.hosts.sites):
+            raise CatalogError(f"unknown site id {site}")
+        self._partitioned_sites.discard(site)
+
+    def is_site_partitioned(self, site: int) -> bool:
+        """Whether ``site`` is currently cut off the WAN."""
+        return site in self._partitioned_sites
+
+    @property
+    def partitioned_sites(self) -> List[int]:
+        """Ids of sites currently partitioned, sorted."""
+        return sorted(self._partitioned_sites)
+
     # ---------------------------------------------------------------- topology
-    def set_link_capacity(self, src: int, dst: int, capacity: float) -> None:
-        """Override the capacity of the link ``src <-> dst`` (symmetric)."""
+    def set_link_capacity(
+        self, src: int, dst: int, capacity: float, symmetric: bool = True
+    ) -> None:
+        """Override the capacity of the link ``src -> dst``.
+
+        By default the reverse link gets the same capacity; pass
+        ``symmetric=False`` for asymmetric links (WAN up/down capacities
+        commonly differ).
+        """
         self._link_overrides[(src, dst)] = float(capacity)
-        self._link_overrides[(dst, src)] = float(capacity)
+        if symmetric:
+            self._link_overrides[(dst, src)] = float(capacity)
 
     def link_capacity(self, src: int, dst: int) -> float:
-        """κ(src, dst); zero on the self-loop."""
+        """κ(src, dst); zero on the self-loop.
+
+        On federated topologies a cross-site pair is additionally capped at
+        the current *effective* WAN gateway capacity of its site pair (zero
+        across a partition, scaled under WAN drift) — no single host-pair
+        link can offer more than the gateway it runs through, and the cap
+        is what makes every planner decline unroutable cross-site flows.
+        The *shared* gateway budget across host pairs is enforced by
+        :meth:`Allocation.validate` and the planners' own WAN checks.
+        """
         if src == dst:
             return 0.0
-        return self._link_overrides.get((src, dst), self._default_link_capacity)
+        capacity = self._link_overrides.get((src, dst), self._default_link_capacity)
+        if self.hosts.num_sites > 1:
+            src_site = self.hosts.site_of(src)
+            dst_site = self.hosts.site_of(dst)
+            if src_site != dst_site:
+                effective = self.effective_wan_capacity(src_site, dst_site)
+                if effective is not None:
+                    capacity = min(capacity, effective)
+        return capacity
+
+    # -------------------------------------------------------------- WAN gateways
+    def set_wan_capacity(
+        self,
+        src_site: int,
+        dst_site: int,
+        capacity: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Set the shared gateway capacity of the WAN link ``src_site ->
+        dst_site`` (and, by default, the reverse direction).
+
+        Unlike per-host-pair link capacities, the WAN capacity is shared by
+        *every* flow crossing that site pair — the defining constraint of
+        federated deployments.
+        """
+        known = set(self.hosts.sites)
+        for s in (src_site, dst_site):
+            if s not in known:
+                raise CatalogError(f"unknown site id {s}; sites: {sorted(known)}")
+        if src_site == dst_site:
+            raise CatalogError("WAN capacity applies to distinct site pairs")
+        if capacity < 0:
+            raise CatalogError("WAN capacity must be non-negative")
+        self._wan_overrides[(src_site, dst_site)] = float(capacity)
+        if symmetric:
+            self._wan_overrides[(dst_site, src_site)] = float(capacity)
+
+    def wan_capacity(self, src_site: int, dst_site: int) -> Optional[float]:
+        """Configured gateway capacity ``src_site -> dst_site``.
+
+        ``None`` means unconstrained (also for the intra-site "pair"), which
+        keeps single-site catalogs byte-compatible with the flat model.
+        """
+        if src_site == dst_site:
+            return None
+        return self._wan_overrides.get(
+            (src_site, dst_site), self._default_wan_capacity
+        )
+
+    def effective_wan_capacity(self, src_site: int, dst_site: int) -> Optional[float]:
+        """The capacity :meth:`Allocation.validate` enforces right now.
+
+        A partitioned endpoint forces the gateway to zero; otherwise the
+        configured capacity is scaled by the current WAN drift factor
+        (``None`` stays unconstrained).
+        """
+        if src_site == dst_site:
+            return None
+        if src_site in self._partitioned_sites or dst_site in self._partitioned_sites:
+            return 0.0
+        capacity = self.wan_capacity(src_site, dst_site)
+        if capacity is None:
+            return None
+        return capacity * self._wan_drift
+
+    @property
+    def wan_drift(self) -> float:
+        """Current multiplicative WAN drift factor (1.0 = nominal)."""
+        return self._wan_drift
+
+    def set_wan_drift(self, factor: float) -> None:
+        """Scale every WAN gateway capacity by ``factor`` (congestion when
+        below 1.0); the configured capacities themselves are untouched."""
+        check_positive("WAN drift factor", factor)
+        self._wan_drift = float(factor)
 
     def topology(self) -> NetworkTopology:
         """Materialise the current topology as a :class:`NetworkTopology`."""
-        topo = NetworkTopology(max(1, self.num_hosts), self._default_link_capacity)
+        topo = NetworkTopology(
+            max(1, self.num_hosts),
+            self._default_link_capacity,
+            sites=[self.hosts.site_of(h) for h in self.hosts.all_ids] or None,
+            default_wan_capacity=self._default_wan_capacity,
+        )
         for (src, dst), capacity in self._link_overrides.items():
             topo.set_capacity(src, dst, capacity, symmetric=False)
+        for (src_site, dst_site), capacity in self._wan_overrides.items():
+            topo.set_wan_capacity(src_site, dst_site, capacity, symmetric=False)
         return topo
 
     # ----------------------------------------------------------------- streams
@@ -354,3 +513,224 @@ class SystemCatalog:
 
     def __repr__(self) -> str:
         return f"<{self.summary()}>"
+
+
+class _SiteHostSetView:
+    """The :class:`HostSet` facade of a :class:`SiteCatalogView`.
+
+    Exposes only the view's site hosts through the placement-facing
+    accessors (:attr:`ids`, iteration, :attr:`offline_ids`) and adjusts
+    reported capacities for *foreign usage* — resources consumed on the
+    site's hosts by structures the site's own allocation does not contain
+    (cross-site queries planned by a federated coordinator).  Lookups by id
+    keep resolving every registered host, mirroring the base semantics.
+    """
+
+    def __init__(self, view: "SiteCatalogView") -> None:
+        self._view = view
+
+    @property
+    def _base(self) -> HostSet:
+        return self._view.base.hosts
+
+    def _adjust(self, host: Host) -> Host:
+        foreign = self._view.foreign_allocation
+        if foreign is None:
+            return host
+        cpu_used = foreign.cpu_used(host.host_id)
+        bw_used = max(
+            foreign.out_bandwidth_used(host.host_id),
+            foreign.in_bandwidth_used(host.host_id),
+        )
+        if not cpu_used and not bw_used:
+            return host
+        # Host capacities must stay positive; a fully consumed resource is
+        # clamped to an epsilon no placement can fit under the validation
+        # tolerance, which blocks the host without breaking invariants.
+        return Host(
+            host_id=host.host_id,
+            name=host.name,
+            cpu_capacity=max(1e-9, host.cpu_capacity - cpu_used),
+            bandwidth_capacity=max(1e-9, host.bandwidth_capacity - bw_used),
+            site=host.site,
+        )
+
+    def get(self, host_id: int) -> Host:
+        return self._adjust(self._base.get(host_id))
+
+    def get_by_name(self, name: str) -> Host:
+        return self._adjust(self._base.get_by_name(name))
+
+    def is_active(self, host_id: int) -> bool:
+        return self._base.is_active(host_id)
+
+    @property
+    def ids(self) -> List[int]:
+        return [h for h in self._base.ids if h in self._view.site_hosts]
+
+    @property
+    def all_ids(self) -> List[int]:
+        return [h for h in self._base.all_ids if h in self._view.site_hosts]
+
+    @property
+    def offline_ids(self) -> List[int]:
+        return [h for h in self._base.offline_ids if h in self._view.site_hosts]
+
+    def site_of(self, host_id: int) -> int:
+        return self._base.site_of(host_id)
+
+    def __iter__(self) -> Iterable[Host]:
+        return (
+            self._adjust(h) for h in self._base if h.host_id in self._view.site_hosts
+        )
+
+    def __len__(self) -> int:
+        # Total registered count, like the base HostSet: id allocation stays
+        # dense and global even through a site view.
+        return len(self._base)
+
+
+class SiteCatalogView:
+    """A site-local, read-mostly view of a shared :class:`SystemCatalog`.
+
+    The view shares the base catalog's streams, operators and queries (ids
+    are global), but filters every *placement-facing* host accessor down to
+    one site: :attr:`host_ids`, host iteration and
+    :meth:`base_hosts_of` only see the site's hosts, so any planner driven
+    through the view plans a purely site-local subproblem while producing
+    an allocation in the global host-id space (directly mergeable with the
+    other shards).
+
+    :meth:`set_foreign_allocation` injects the structures *other* planners
+    placed on this site's hosts (a federated coordinator's cross-site
+    queries); the view then reports correspondingly reduced host and link
+    capacities, so the site's own planner cannot overcommit shared hosts.
+
+    Everything not overridden here delegates to the base catalog, including
+    mutations such as :meth:`SystemCatalog.register_query`.
+    """
+
+    def __init__(self, base: SystemCatalog, site: int) -> None:
+        if site not in set(base.sites):
+            raise CatalogError(
+                f"unknown site id {site}; catalog sites: {base.sites}"
+            )
+        self._base_catalog = base
+        self.site = site
+        self.site_hosts: FrozenSet[int] = frozenset(base.hosts_in_site(site))
+        self.hosts = _SiteHostSetView(self)
+        self.foreign_allocation = None
+
+    @property
+    def base(self) -> SystemCatalog:
+        """The catalog this view filters."""
+        return self._base_catalog
+
+    def __getattr__(self, name: str):
+        # Anything not overridden (streams, operators, queries, cost model,
+        # aggregate capacities, WAN state, ...) resolves on the base catalog.
+        return getattr(self._base_catalog, name)
+
+    def set_foreign_allocation(self, allocation) -> None:
+        """Declare the foreign structures occupying this site's resources
+        (``None`` clears the adjustment)."""
+        self.foreign_allocation = allocation
+
+    def refresh(self) -> None:
+        """Re-snapshot the site's host membership from the base catalog.
+
+        Hosts can join a site after the view was built
+        (:meth:`SystemCatalog.add_host` on a live system); callers reacting
+        to topology changes refresh their views so the new capacity becomes
+        visible.
+        """
+        self.site_hosts = frozenset(self._base_catalog.hosts_in_site(self.site))
+
+    # ------------------------------------------------------------- host views
+    @property
+    def host_ids(self) -> List[int]:
+        """Active host ids of this site only."""
+        return [h for h in self._base_catalog.host_ids if h in self.site_hosts]
+
+    @property
+    def num_hosts(self) -> int:
+        """Total registered hosts of the *base* catalog — ids stay dense and
+        global so shard allocations merge without remapping."""
+        return self._base_catalog.num_hosts
+
+    def base_hosts_of(self, stream_id: int) -> FrozenSet[int]:
+        """Active injection points of a base stream *within this site*."""
+        return frozenset(
+            h
+            for h in self._base_catalog.base_hosts_of(stream_id)
+            if h in self.site_hosts
+        )
+
+    def link_capacity(self, src: int, dst: int) -> float:
+        """Intra-site link capacity, net of foreign usage on the link."""
+        capacity = self._base_catalog.link_capacity(src, dst)
+        foreign = self.foreign_allocation
+        if foreign is not None and capacity and src != dst:
+            capacity = max(0.0, capacity - foreign.link_used(src, dst))
+        return capacity
+
+    def summary(self) -> str:
+        return (
+            f"SiteCatalogView(site={self.site}, hosts={sorted(self.site_hosts)}, "
+            f"base={self._base_catalog.summary()})"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"
+
+
+class GatewayCatalogView:
+    """A WAN-aware view of a :class:`SystemCatalog` for cross-site planning.
+
+    Sees every host (unlike :class:`SiteCatalogView`) but caps the reported
+    capacity of each *cross-site* host pair at the remaining effective WAN
+    gateway capacity of its site pair — the configured capacity after drift
+    and partitions, minus what the supplied live allocation already ships
+    across that gateway.  A planner that only models per-host-pair link
+    constraints (the SQPR MILP) therefore cannot route a stream over a
+    partitioned or saturated gateway.
+
+    The cap is conservative: the planner's own background usage of the same
+    host pair is subtracted again by its model, and a plan shipping several
+    new streams across one gateway is not jointly capped — the shared-WAN
+    constraint proper is enforced by :meth:`Allocation.validate`.
+    """
+
+    def __init__(self, base: SystemCatalog, allocation_ref) -> None:
+        self._base_catalog = base
+        #: Zero-argument callable returning the live global allocation whose
+        #: WAN usage the remaining gateway capacity is measured against.
+        self._allocation_ref = allocation_ref
+
+    @property
+    def base(self) -> SystemCatalog:
+        """The catalog this view wraps."""
+        return self._base_catalog
+
+    def __getattr__(self, name: str):
+        return getattr(self._base_catalog, name)
+
+    def link_capacity(self, src: int, dst: int) -> float:
+        capacity = self._base_catalog.link_capacity(src, dst)
+        if src == dst:
+            return capacity
+        src_site = self._base_catalog.site_of_host(src)
+        dst_site = self._base_catalog.site_of_host(dst)
+        if src_site == dst_site:
+            return capacity
+        effective = self._base_catalog.effective_wan_capacity(src_site, dst_site)
+        if effective is None:
+            return capacity
+        allocation = self._allocation_ref()
+        remaining = effective
+        if allocation is not None:
+            remaining -= allocation.wan_used(src_site, dst_site)
+        return max(0.0, min(capacity, remaining))
+
+    def __repr__(self) -> str:
+        return f"<GatewayCatalogView of {self._base_catalog.summary()}>"

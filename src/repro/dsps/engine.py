@@ -72,6 +72,27 @@ class HostChangeReport:
         return not self.violations
 
 
+@dataclass
+class SiteChangeReport:
+    """Outcome of a WAN-level event (site partition/recovery, WAN drift).
+
+    ``site`` is the affected site id, or ``-1`` for events touching every
+    gateway at once (WAN drift).  ``victims`` are the admitted queries whose
+    plans crossed a now-unusable gateway and had to be evicted; re-admitting
+    them (possibly confined to one side of the partition) is the caller's
+    job.
+    """
+
+    site: int
+    victims: List[int] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the surviving allocation re-validated with no violations."""
+        return not self.violations
+
+
 class ClusterEngine:
     """Owns the live allocation and applies planner decisions to it."""
 
@@ -170,9 +191,17 @@ class ClusterEngine:
         cpu_capacity: float,
         bandwidth_capacity: float,
         name: Optional[str] = None,
+        site: int = 0,
     ) -> int:
-        """Provision a brand-new host (a host-join event) and return its id."""
-        return self.catalog.add_host(cpu_capacity, bandwidth_capacity, name).host_id
+        """Provision a brand-new host (a host-join event) and return its id.
+
+        On federated catalogs ``site`` places the host in an existing or
+        brand-new resource site; planners learn about it through their next
+        ``on_topology_change()``.
+        """
+        return self.catalog.add_host(
+            cpu_capacity, bandwidth_capacity, name, site=site
+        ).host_id
 
     def victims_of_host(self, host_id: int) -> List[int]:
         """Admitted queries that depend on ``host_id`` in the live allocation.
@@ -241,6 +270,134 @@ class ClusterEngine:
             host=host_id, victims=victims, violations=violations
         )
 
+    # ------------------------------------------------------------ site lifecycle
+    def _plan_site_pairs(self, plan) -> List[tuple]:
+        """Ordered site pairs crossed by a plan's inter-host arcs."""
+        catalog = self.catalog
+        pairs = []
+        for node in plan.nodes():
+            for child in node.children:
+                if child.host != node.host:
+                    src_site = catalog.site_of_host(child.host)
+                    dst_site = catalog.site_of_host(node.host)
+                    if src_site != dst_site:
+                        pairs.append((src_site, dst_site))
+        return pairs
+
+    def victims_of_site_boundary(self, site: int) -> List[int]:
+        """Admitted queries whose plan crosses the boundary of ``site``.
+
+        A query is a victim when its plan spans hosts inside *and* outside
+        the site (the plan tree is connected, so spanning implies at least
+        one arc crossing the gateway) or when its plan can no longer be
+        extracted at all.
+        """
+        site_hosts = set(self.catalog.hosts_in_site(site))
+        victims: List[int] = []
+        for query_id in sorted(self.allocation.admitted_queries):
+            query = self.catalog.get_query(query_id)
+            try:
+                plan = extract_plan(self.catalog, self.allocation, query.result_stream)
+            except PlanError:
+                victims.append(query_id)
+                continue
+            used = set(plan.hosts_used())
+            if used & site_hosts and used - site_hosts:
+                victims.append(query_id)
+        return victims
+
+    def _evict_and_revalidate(self, victims: List[int], touch_hosts) -> List[str]:
+        """Shared tail of the site-level events: drop the victims, then
+        re-validate the touched slice (or the full oracle on an untrusted
+        base)."""
+        if victims:
+            self.allocation = self.allocation.without_queries(victims)
+        else:
+            self.allocation = rebuild_minimal_allocation(self.catalog, self.allocation)
+        if self._base_validated:
+            hosts, streams, operators = self.allocation.peek_touched()
+            hosts.update(touch_hosts)
+            violations = self.allocation.validate_delta(hosts, streams, operators)
+        else:
+            violations = self.allocation.validate()
+        self._base_validated = not violations
+        return violations
+
+    def partition_site(self, site: int) -> SiteChangeReport:
+        """Cut ``site`` off the WAN and evict every query straddling it.
+
+        The site's hosts keep running (site-local queries survive), but any
+        admitted query whose plan crossed the site's gateway is evicted;
+        the report lists them so the caller can try re-admitting each one —
+        a federated planner may then fit it entirely inside one side of the
+        partition.
+        """
+        if self.catalog.is_site_partitioned(site):
+            raise CatalogError(f"site {site} is already partitioned")
+        self.catalog.partition_site(site)
+        victims = self.victims_of_site_boundary(site)
+        violations = self._evict_and_revalidate(
+            victims, self.catalog.hosts_in_site(site)
+        )
+        return SiteChangeReport(site=site, victims=victims, violations=violations)
+
+    def heal_site(self, site: int) -> SiteChangeReport:
+        """Re-attach a partitioned site to the WAN (gateways come back)."""
+        if not self.catalog.is_site_partitioned(site):
+            raise CatalogError(f"site {site} is not partitioned")
+        self.catalog.heal_site(site)
+        # Healing only adds capacity; the allocation is unchanged, so only
+        # the site's own constraints need a look on a trusted base.
+        if self._base_validated:
+            violations = self.allocation.validate_delta(
+                set(self.catalog.hosts_in_site(site))
+            )
+        else:
+            violations = self.allocation.validate()
+        self._base_validated = not violations
+        return SiteChangeReport(site=site, violations=violations)
+
+    def apply_wan_drift(self, factor: float) -> SiteChangeReport:
+        """Scale every WAN gateway capacity by ``factor`` and evict the
+        queries whose gateways no longer fit.
+
+        After the capacity change, every ordered site pair whose current
+        WAN usage exceeds the new effective capacity is drained: all
+        admitted queries with a plan arc on an overloaded gateway are
+        evicted in one pass (survivors, by construction, put no traffic on
+        those gateways).  The report lists the victims for re-admission.
+        """
+        self.catalog.set_wan_drift(factor)
+        overloaded = set()
+        for (src_site, dst_site), used in sorted(self.allocation.wan_usage().items()):
+            capacity = self.catalog.effective_wan_capacity(src_site, dst_site)
+            if capacity is not None and used > capacity + 1e-6:
+                overloaded.add((src_site, dst_site))
+        if not overloaded:
+            # Capacities changed but every gateway still fits: the
+            # allocation is untouched, so a trusted base stays trusted.
+            violations = [] if self._base_validated else self.allocation.validate()
+            self._base_validated = not violations
+            return SiteChangeReport(site=-1, violations=violations)
+        victims: List[int] = []
+        for query_id in sorted(self.allocation.admitted_queries):
+            query = self.catalog.get_query(query_id)
+            try:
+                plan = extract_plan(
+                    self.catalog, self.allocation, query.result_stream
+                )
+            except PlanError:
+                victims.append(query_id)
+                continue
+            if overloaded & set(self._plan_site_pairs(plan)):
+                victims.append(query_id)
+        touch_hosts = set()
+        for src_site, dst_site in overloaded:
+            touch_hosts.update(self.catalog.hosts_in_site(src_site))
+            touch_hosts.update(self.catalog.hosts_in_site(dst_site))
+        violations = self._evict_and_revalidate(victims, touch_hosts)
+        return SiteChangeReport(site=-1, victims=victims, violations=violations)
+
     def restore_host(self, host_id: int) -> HostChangeReport:
         """Bring a failed host back online (its base streams reappear)."""
         if self.catalog.is_host_active(host_id):
@@ -287,3 +444,6 @@ class ClusterEngine:
         self.monitor.reset_drift()
         for host_id in self.catalog.hosts.offline_ids:
             self.catalog.activate_host(host_id)
+        for site in self.catalog.partitioned_sites:
+            self.catalog.heal_site(site)
+        self.catalog.set_wan_drift(1.0)

@@ -28,21 +28,29 @@ class Host:
         ζ_h — available computational resources.
     bandwidth_capacity:
         β_h — maximum outgoing (and incoming) host bandwidth in Mbps.
+    site:
+        The resource site the host belongs to.  A flat cluster is the
+        single-site special case (every host in site 0); federated
+        infrastructures group hosts into sites connected by constrained
+        WAN gateway links (see :class:`repro.dsps.network.NetworkTopology`).
     """
 
     host_id: int
     name: str
     cpu_capacity: float
     bandwidth_capacity: float
+    site: int = 0
 
     def __post_init__(self) -> None:
         check_positive("host cpu capacity", self.cpu_capacity)
         check_positive("host bandwidth capacity", self.bandwidth_capacity)
+        if self.site < 0:
+            raise CatalogError(f"host site must be non-negative, got {self.site}")
 
     def __repr__(self) -> str:
         return (
             f"Host({self.host_id}, {self.name!r}, cpu={self.cpu_capacity:g}, "
-            f"bw={self.bandwidth_capacity:g})"
+            f"bw={self.bandwidth_capacity:g}, site={self.site})"
         )
 
 
@@ -61,9 +69,17 @@ class HostSet:
         self._hosts: List[Host] = []
         self._by_name: Dict[str, Host] = {}
         self._offline: set = set()
+        self._sites: List[int] = []
+        self._distinct_sites: set = set()
 
-    def add(self, name: str, cpu_capacity: float, bandwidth_capacity: float) -> Host:
-        """Register a new host and return it."""
+    def add(
+        self,
+        name: str,
+        cpu_capacity: float,
+        bandwidth_capacity: float,
+        site: int = 0,
+    ) -> Host:
+        """Register a new host (in resource site ``site``) and return it."""
         if name in self._by_name:
             raise CatalogError(f"host name {name!r} already registered")
         host = Host(
@@ -71,10 +87,45 @@ class HostSet:
             name=name,
             cpu_capacity=float(cpu_capacity),
             bandwidth_capacity=float(bandwidth_capacity),
+            site=int(site),
         )
         self._hosts.append(host)
         self._by_name[name] = host
+        self._sites.append(host.site)
+        self._distinct_sites.add(host.site)
         return host
+
+    # --------------------------------------------------------------------- sites
+    def site_of(self, host_id: int) -> int:
+        """The resource site ``host_id`` belongs to (O(1) list lookup —
+        allocation index hooks call this on every flow/placement mutation)."""
+        try:
+            return self._sites[host_id]
+        except IndexError:
+            raise CatalogError(f"unknown host id {host_id}") from None
+
+    @property
+    def sites(self) -> List[int]:
+        """Sorted distinct site ids over every registered host."""
+        return sorted(self._distinct_sites)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of distinct sites (O(1) — link-capacity lookups guard on
+        it on the planning hot path)."""
+        return len(self._distinct_sites)
+
+    def ids_in_site(self, site: int) -> List[int]:
+        """All registered host ids of ``site``, online or not, in order."""
+        return [h.host_id for h in self._hosts if h.site == site]
+
+    def active_ids_in_site(self, site: int) -> List[int]:
+        """Online host ids of ``site``, in order."""
+        return [
+            h.host_id
+            for h in self._hosts
+            if h.site == site and h.host_id not in self._offline
+        ]
 
     def get(self, host_id: int) -> Host:
         """Look up a host by id."""

@@ -1,34 +1,69 @@
-"""The network topology: pairwise link capacities κ(h, m).
+"""The network topology: pairwise link capacities κ(h, m) plus sites.
 
 The evaluation scenarios in the paper use a flat data-centre LAN (every pair
 of hosts connected with the same capacity), but the model supports arbitrary
 per-pair capacities, so heterogeneous topologies (e.g. oversubscribed racks)
 can be expressed as well.
+
+Federated deployments add a second, hierarchical layer: hosts belong to
+*sites*, pairs of sites are connected by WAN gateway links, and the gateway
+capacity is *shared* by every host-pair flow crossing that site pair.  WAN
+links are directed, so asymmetric up/down provisioning (a common property
+of wide-area links) is expressible; :meth:`set_wan_capacity` defaults to
+symmetric for convenience.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.exceptions import CatalogError
 from repro.utils.validation import check_non_negative, check_positive
 
 
 class NetworkTopology:
-    """Directed link capacities between hosts.
+    """Directed link capacities between hosts, optionally grouped into sites.
 
     Capacities are stored per ordered pair ``(src, dst)``.  A default
     capacity applies to every pair that has not been set explicitly; a
     capacity of zero means the two hosts cannot exchange streams directly.
+
+    When a site assignment is given, the topology is *hierarchical*: the
+    per-pair capacities describe the intra-site (or point-to-point) links,
+    while :meth:`wan_capacity` describes the shared gateway capacity between
+    two sites.  A WAN capacity of ``None`` means the gateway is
+    unconstrained (the flat-cluster behaviour).
     """
 
-    def __init__(self, num_hosts: int, default_capacity: float) -> None:
+    def __init__(
+        self,
+        num_hosts: int,
+        default_capacity: float,
+        sites: Optional[Sequence[int]] = None,
+        default_wan_capacity: Optional[float] = None,
+    ) -> None:
         if num_hosts <= 0:
             raise CatalogError("topology needs at least one host")
         check_non_negative("default link capacity", default_capacity)
         self._num_hosts = int(num_hosts)
         self._default = float(default_capacity)
         self._overrides: Dict[Tuple[int, int], float] = {}
+        if sites is None:
+            self._sites = [0] * self._num_hosts
+        else:
+            if len(sites) != self._num_hosts:
+                raise CatalogError(
+                    f"site assignment covers {len(sites)} hosts, "
+                    f"topology has {self._num_hosts}"
+                )
+            self._sites = [int(s) for s in sites]
+            if any(s < 0 for s in self._sites):
+                raise CatalogError("site ids must be non-negative")
+        if default_wan_capacity is not None:
+            check_non_negative("default WAN capacity", default_wan_capacity)
+            default_wan_capacity = float(default_wan_capacity)
+        self._default_wan = default_wan_capacity
+        self._wan_overrides: Dict[Tuple[int, int], float] = {}
 
     @property
     def num_hosts(self) -> int:
@@ -46,7 +81,8 @@ class NetworkTopology:
                 raise CatalogError(f"host id {h} outside topology of {self._num_hosts} hosts")
 
     def set_capacity(self, src: int, dst: int, capacity: float, symmetric: bool = True) -> None:
-        """Set the capacity of link ``src -> dst`` (and the reverse link)."""
+        """Set the capacity of link ``src -> dst`` (and, by default, the
+        reverse link; pass ``symmetric=False`` for asymmetric links)."""
         self._check_pair(src, dst)
         check_non_negative("link capacity", capacity)
         self._overrides[(src, dst)] = float(capacity)
@@ -60,12 +96,88 @@ class NetworkTopology:
             return 0.0
         return self._overrides.get((src, dst), self._default)
 
+    # ---------------------------------------------------------------- sites/WAN
+    @property
+    def sites(self) -> Tuple[int, ...]:
+        """Sorted distinct site ids of the topology."""
+        return tuple(sorted(set(self._sites)))
+
+    @property
+    def num_sites(self) -> int:
+        """Number of distinct sites (1 for a flat cluster)."""
+        return len(set(self._sites))
+
+    def site_of(self, host: int) -> int:
+        """The site ``host`` belongs to."""
+        self._check_pair(host, host)
+        return self._sites[host]
+
+    def hosts_in_site(self, site: int) -> Tuple[int, ...]:
+        """All host ids assigned to ``site``, in id order."""
+        return tuple(h for h, s in enumerate(self._sites) if s == site)
+
+    def _check_site_pair(self, src_site: int, dst_site: int) -> None:
+        known = set(self._sites)
+        for s in (src_site, dst_site):
+            if s not in known:
+                raise CatalogError(f"unknown site id {s}; sites: {sorted(known)}")
+
+    def set_wan_capacity(
+        self,
+        src_site: int,
+        dst_site: int,
+        capacity: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Set the shared gateway capacity ``src_site -> dst_site``.
+
+        WAN links are directed; ``symmetric=False`` expresses the common
+        asymmetric up/down provisioning of wide-area links.
+        """
+        self._check_site_pair(src_site, dst_site)
+        if src_site == dst_site:
+            raise CatalogError("WAN capacity applies to distinct site pairs")
+        check_non_negative("WAN capacity", capacity)
+        self._wan_overrides[(src_site, dst_site)] = float(capacity)
+        if symmetric:
+            self._wan_overrides[(dst_site, src_site)] = float(capacity)
+
+    def wan_capacity(self, src_site: int, dst_site: int) -> Optional[float]:
+        """Shared gateway capacity ``src_site -> dst_site``.
+
+        ``None`` means unconstrained; the intra-site "pair" returns ``None``
+        as well because traffic inside a site never crosses a gateway.
+        """
+        self._check_site_pair(src_site, dst_site)
+        if src_site == dst_site:
+            return None
+        return self._wan_overrides.get((src_site, dst_site), self._default_wan)
+
+    def site_pairs(self) -> Iterable[Tuple[int, int]]:
+        """All ordered pairs of distinct sites."""
+        sites = self.sites
+        for src in sites:
+            for dst in sites:
+                if src != dst:
+                    yield (src, dst)
+
+    # ----------------------------------------------------------------- copying
     def scaled(self, factor: float) -> "NetworkTopology":
-        """Return a copy with every capacity multiplied by ``factor``."""
+        """Return a copy with every capacity (links *and* WAN gateways)
+        multiplied by ``factor``; the site assignment is preserved."""
         check_positive("scale factor", factor)
-        clone = NetworkTopology(self._num_hosts, self._default * factor)
+        clone = NetworkTopology(
+            self._num_hosts,
+            self._default * factor,
+            sites=list(self._sites),
+            default_wan_capacity=(
+                None if self._default_wan is None else self._default_wan * factor
+            ),
+        )
         for (src, dst), cap in self._overrides.items():
             clone._overrides[(src, dst)] = cap * factor
+        for (src, dst), cap in self._wan_overrides.items():
+            clone._wan_overrides[(src, dst)] = cap * factor
         return clone
 
     def pairs(self) -> Iterable[Tuple[int, int]]:

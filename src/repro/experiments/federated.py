@@ -1,0 +1,165 @@
+"""Federated scaling experiments: partitioned vs. global planning.
+
+The decomposition argument for :class:`~repro.core.federated.FederatedPlanner`
+is quantitative: a site-local query admitted by a per-site inner planner
+solves a MILP over ``hosts_per_site`` hosts, while the global planner solves
+one over *all* hosts — and MILP solve time grows superlinearly in model
+size, so partitioned planning gets relatively faster as sites are added.
+
+:func:`run_federated_scaling_experiment` pins that claim: for each site
+count it builds a federated scenario, generates a *site-local* workload
+(every query's base streams colocate in one site — the workload class
+partitioned planning is designed for), drives the same submission sequence
+through the global inner planner and through ``federated:<inner>``, and
+records wall-clock planning time, admissions and the final allocation
+fingerprint.  At one site the federated planner degenerates to a single
+shard over the whole catalog, so its decisions and allocation fingerprint
+must match the inner planner exactly — the equivalence the benchmark
+asserts.
+
+``benchmarks/test_fig10_federated.py`` wraps this into the CI-facing
+benchmark (``BENCH_federated.json``);
+:func:`repro.experiments.figures.fig10_federated_scaling` wraps it into the
+shared figure format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import (
+    Scenario,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+#: Scenario shape per measured site count (kept in one place so the figure
+#: driver and the benchmark measure the same thing).
+HOSTS_PER_SITE = 3
+STREAMS_PER_HOST = 4
+QUERIES_PER_SITE = 5
+
+
+def federated_scenario(
+    num_sites: int,
+    hosts_per_site: int = HOSTS_PER_SITE,
+    streams_per_host: int = STREAMS_PER_HOST,
+    wan_capacity: float = 200.0,
+    seed: int = 7,
+) -> Scenario:
+    """The scenario of one federated-scaling measurement point."""
+    num_hosts = hosts_per_site * num_sites
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=num_hosts,
+            num_base_streams=streams_per_host * num_hosts,
+            host_cpu_capacity=6.0,
+            host_bandwidth=300.0,
+            decomposition=DecompositionMode.CANONICAL,
+            num_sites=num_sites,
+            wan_capacity=wan_capacity,
+            seed=seed,
+        )
+    )
+
+
+def site_local_workload(
+    scenario: Scenario,
+    queries_per_site: int = QUERIES_PER_SITE,
+    arities: Tuple[int, ...] = (2, 3),
+    seed_offset: int = 0,
+) -> List[QueryWorkloadItem]:
+    """A workload whose every query is local to some site.
+
+    ``queries_per_site`` queries are generated per site from that site's
+    base-stream universe and interleaved round-robin across sites, so the
+    submission order mixes sites the way concurrent clients would.
+    """
+    per_site: List[List[QueryWorkloadItem]] = []
+    for site in range(scenario.num_sites):
+        names = scenario.site_stream_names(site)
+        generator = WorkloadGenerator(
+            names,
+            WorkloadSpec(
+                num_queries=queries_per_site,
+                arities=arities,
+                zipf_exponent=1.0,
+            ),
+            random_state=scenario.seed + 500 + seed_offset + site,
+        )
+        per_site.append(generator.generate())
+    return [
+        per_site[site][index]
+        for index in range(queries_per_site)
+        for site in range(scenario.num_sites)
+    ]
+
+
+def run_planner_over(
+    planner_name: str,
+    scenario: Scenario,
+    workload: Sequence[QueryWorkloadItem],
+    time_limit: Optional[float],
+) -> Dict[str, object]:
+    """Submit ``workload`` through one planner on a fresh catalog."""
+    catalog = scenario.build_catalog()
+    planner = create_planner(
+        planner_name, catalog, config=PlannerConfig(time_limit=time_limit)
+    )
+    decisions: List[bool] = []
+    start = time.perf_counter()
+    for item in workload:
+        outcome = planner.submit(item)
+        decisions.append(bool(outcome.admitted))
+    elapsed = time.perf_counter() - start
+    assert planner.allocation is not None
+    violations = planner.allocation.validate()
+    return {
+        "planner": planner.name,
+        "planning_seconds": elapsed,
+        "admitted": sum(decisions),
+        "submitted": len(decisions),
+        "decisions": tuple(decisions),
+        "fingerprint": planner.allocation.fingerprint(),
+        "violations": violations,
+    }
+
+
+def run_federated_scaling_experiment(
+    site_counts: Sequence[int] = (1, 2, 4, 6),
+    inner: str = "sqpr",
+    time_limit: Optional[float] = 0.6,
+    queries_per_site: int = QUERIES_PER_SITE,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """Measure global vs. federated planning across site counts.
+
+    Returns one record per site count with the global planner's and the
+    federated planner's measurements plus the planning-time speedup.
+    """
+    records: List[Dict[str, object]] = []
+    for num_sites in site_counts:
+        scenario = federated_scenario(num_sites, seed=seed)
+        workload = site_local_workload(scenario, queries_per_site=queries_per_site)
+        global_run = run_planner_over(inner, scenario, workload, time_limit)
+        federated_run = run_planner_over(
+            f"federated:{inner}", scenario, workload, time_limit
+        )
+        records.append(
+            {
+                "num_sites": num_sites,
+                "num_hosts": scenario.num_hosts,
+                "num_queries": len(workload),
+                "global": global_run,
+                "federated": federated_run,
+                "speedup": (
+                    global_run["planning_seconds"]
+                    / max(1e-9, federated_run["planning_seconds"])
+                ),
+            }
+        )
+    return records

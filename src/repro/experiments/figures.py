@@ -473,3 +473,45 @@ def fig8_churn_timeline(
     figure = timeline_figure(results, title=scenario_name)
     figure.figure = "Fig 8"
     return figure
+
+
+# --------------------------------------------------------------------- Figure 10
+def fig10_federated_scaling(
+    site_counts: Sequence[int] = (1, 2, 4, 6),
+    inner: str = "sqpr",
+    time_limit: Optional[float] = 0.6,
+) -> FigureResult:
+    """Fig. 10 (beyond the paper): partitioned vs. global planning time.
+
+    For each site count, a site-local workload is planned once by the
+    global ``inner`` planner and once by ``federated:<inner>``; the series
+    chart total planning seconds, admissions and the speedup (see
+    :mod:`repro.experiments.federated`).
+    """
+    from repro.experiments.federated import run_federated_scaling_experiment
+
+    records = run_federated_scaling_experiment(
+        site_counts=site_counts, inner=inner, time_limit=time_limit
+    )
+    result = FigureResult(
+        figure="Fig 10",
+        description=(
+            "planning time of federated (per-site) vs global planning as "
+            "the number of sites grows, site-local workloads"
+        ),
+    )
+    result.series["num_sites"] = [float(r["num_sites"]) for r in records]
+    result.series["global_planning_seconds"] = [
+        float(r["global"]["planning_seconds"]) for r in records
+    ]
+    result.series["federated_planning_seconds"] = [
+        float(r["federated"]["planning_seconds"]) for r in records
+    ]
+    result.series["global_admitted"] = [
+        float(r["global"]["admitted"]) for r in records
+    ]
+    result.series["federated_admitted"] = [
+        float(r["federated"]["admitted"]) for r in records
+    ]
+    result.series["speedup"] = [float(r["speedup"]) for r in records]
+    return result

@@ -15,6 +15,9 @@ from repro.sim.events import (
     QueryDeparture,
     ReplanTick,
     SimEvent,
+    SitePartition,
+    SiteRecovery,
+    WanDrift,
     merge_schedules,
 )
 from repro.sim.harness import (
@@ -36,6 +39,9 @@ __all__ = [
     "SimEvent",
     "SimulationHarness",
     "SimulationResult",
+    "SitePartition",
+    "SiteRecovery",
     "TickMetrics",
+    "WanDrift",
     "merge_schedules",
 ]

@@ -10,6 +10,14 @@ dynamics the paper's adaptive re-planning story (§IV-B) reacts to:
 * :class:`LoadDrift` — observed operator costs drift away from estimates,
 * :class:`ReplanTick` — a periodic adaptive re-planning opportunity.
 
+Federated topologies add three WAN-level kinds:
+
+* :class:`SitePartition` / :class:`SiteRecovery` — a whole resource site is
+  cut off the WAN (its hosts keep running, but nothing may cross its
+  gateway) and later re-attached,
+* :class:`WanDrift` — the effective WAN gateway capacities drift to a
+  factor of their provisioned values (congestion below 1.0).
+
 Events carry *descriptions* of what happens, never live objects: a
 departure references its arrival by index, drift names a factor and a
 count rather than operator ids (operators only exist once queries have
@@ -85,6 +93,31 @@ class LoadDrift(SimEvent):
 
     factor: float
     num_operators: int = 1
+
+
+@dataclass(frozen=True)
+class SitePartition(SimEvent):
+    """Site ``site`` is cut off the WAN: its hosts keep running, but queries
+    whose plans cross its gateway are evicted and re-planned (ideally
+    confined to one side of the partition)."""
+
+    site: int
+
+
+@dataclass(frozen=True)
+class SiteRecovery(SimEvent):
+    """Site ``site`` is re-attached to the WAN; gateways come back."""
+
+    site: int
+
+
+@dataclass(frozen=True)
+class WanDrift(SimEvent):
+    """Effective WAN gateway capacities drift to ``factor`` × their
+    provisioned values; queries on gateways that no longer fit are evicted
+    and re-planned."""
+
+    factor: float
 
 
 @dataclass(frozen=True)

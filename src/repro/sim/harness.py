@@ -10,6 +10,11 @@
 * **host failures** deactivate the host in the engine, evict the victim
   queries and immediately try to re-admit them on the surviving hosts,
 * **host recoveries** bring the host (and its base streams) back,
+* **site partitions** cut a whole site off the WAN (its hosts keep
+  running); queries straddling the boundary are evicted and re-admitted,
+  ideally confined to one side — **site recoveries** re-attach the site,
+* **WAN drift** scales the effective gateway capacities; queries on
+  gateways that no longer fit are evicted and re-planned,
 * **load drift** perturbs observed operator costs in the resource monitor,
 * **replan ticks** give the :class:`~repro.core.adaptive.AdaptiveReplanner`
   a periodic chance to move drifted/overloaded queries (§IV-B).
@@ -66,6 +71,9 @@ from repro.sim.events import (
     QueryDeparture,
     ReplanTick,
     SimEvent,
+    SitePartition,
+    SiteRecovery,
+    WanDrift,
 )
 from repro.utils.rng import ensure_rng
 
@@ -87,6 +95,9 @@ COUNTER_NAMES = (
     "replan_rounds",
     "replan_readmitted",
     "replan_dropped",
+    "site_partitions",
+    "site_recoveries",
+    "wan_drift_events",
 )
 
 
@@ -281,6 +292,33 @@ class SimulationHarness:
                     planner.allocation, trusted=self.validate_invariants
                 )
 
+        def handle_eviction_report(report, label: str) -> None:
+            """Shared tail of the eviction-producing events (host failures,
+            site partitions, WAN drift): adopt the engine's surviving
+            allocation, account the evictions and give every victim one
+            immediate re-admission attempt.  Only victims this run counted
+            as dropped may decrement the counter — a planner warmed up
+            before run() has victims the harness never tracked."""
+            if planner.allocation is not None:
+                planner.allocation = self.engine.allocation
+            planner_drops = planner.on_topology_change()
+            counters["evicted"] += len(report.victims) + len(planner_drops)
+            dropped_now = set(reconcile())
+            counters["dropped"] += len(dropped_now)
+            for victim in report.victims:
+                outcome = planner.submit(catalog.get_query(victim))
+                if outcome.admitted:
+                    counters["readmitted"] += 1
+                    if victim in dropped_now:
+                        counters["dropped"] -= 1
+                    index = index_by_query.get(victim)
+                    if index is not None:
+                        active[index] = victim
+            if report.violations:
+                raise SimulationError(
+                    f"{label} left violations: " + "; ".join(report.violations[:3])
+                )
+
         for position, event in enumerate(schedule):
             if isinstance(event, QueryArrival):
                 counters["arrivals"] += 1
@@ -308,36 +346,31 @@ class SimulationHarness:
                 counters["host_failures"] += 1
                 sync_engine()
                 report = self.engine.fail_host(event.host)
-                if planner.allocation is not None:
-                    planner.allocation = self.engine.allocation
-                planner_drops = planner.on_topology_change()
-                counters["evicted"] += len(report.victims) + len(planner_drops)
-                dropped_now = set(reconcile())
-                counters["dropped"] += len(dropped_now)
-                # Victims evicted from concrete placements get one immediate
-                # re-admission attempt on the surviving hosts.  Only victims
-                # this run counted as dropped may decrement the counter — a
-                # planner warmed up before run() has victims the harness
-                # never tracked.
-                for victim in report.victims:
-                    outcome = planner.submit(catalog.get_query(victim))
-                    if outcome.admitted:
-                        counters["readmitted"] += 1
-                        if victim in dropped_now:
-                            counters["dropped"] -= 1
-                        index = index_by_query.get(victim)
-                        if index is not None:
-                            active[index] = victim
-                if report.violations:
-                    raise SimulationError(
-                        f"host failure {event.host} left violations: "
-                        + "; ".join(report.violations[:3])
-                    )
+                handle_eviction_report(report, f"host failure {event.host}")
 
             elif isinstance(event, HostRecovery):
                 counters["host_recoveries"] += 1
                 self.engine.restore_host(event.host)
                 planner.on_topology_change()
+
+            elif isinstance(event, SitePartition):
+                counters["site_partitions"] += 1
+                sync_engine()
+                report = self.engine.partition_site(event.site)
+                handle_eviction_report(report, f"partition of site {event.site}")
+
+            elif isinstance(event, SiteRecovery):
+                counters["site_recoveries"] += 1
+                self.engine.heal_site(event.site)
+                planner.on_topology_change()
+
+            elif isinstance(event, WanDrift):
+                counters["wan_drift_events"] += 1
+                sync_engine()
+                report = self.engine.apply_wan_drift(event.factor)
+                handle_eviction_report(
+                    report, f"WAN drift to {event.factor:g}x"
+                )
 
             elif isinstance(event, LoadDrift):
                 counters["drift_events"] += 1
@@ -363,6 +396,17 @@ class SimulationHarness:
             sync_engine()
             if isinstance(event, (HostFailure, HostRecovery)):
                 extra_hosts: Set[int] = {event.host}
+            elif isinstance(event, (SitePartition, SiteRecovery)):
+                extra_hosts = set(catalog.hosts_in_site(event.site))
+            elif isinstance(event, WanDrift) and catalog.num_sites > 1:
+                # Only gateways still carrying traffic can be overloaded by
+                # a capacity scale; re-check the hosts of exactly those site
+                # pairs (evicted structures are in the drained touched set).
+                extra_hosts = set()
+                if planner.allocation is not None:
+                    for src_site, dst_site in planner.allocation.wan_usage():
+                        extra_hosts.update(catalog.hosts_in_site(src_site))
+                        extra_hosts.update(catalog.hosts_in_site(dst_site))
             else:
                 extra_hosts = set()
             prev_allocation = self._check_invariants(

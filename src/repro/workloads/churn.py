@@ -33,6 +33,9 @@ from repro.sim.events import (
     QueryDeparture,
     ReplanTick,
     SimEvent,
+    SitePartition,
+    SiteRecovery,
+    WanDrift,
 )
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
@@ -77,6 +80,23 @@ class ChurnTraceConfig:
         (1.0 = no burst).
     arities / zipf_exponent:
         Forwarded to the workload generator (query shapes and overlap).
+    site_locality:
+        Fraction of arrivals drawn from a *single* seeded site's base
+        streams (federated scenarios only; 0.0 keeps the flat behaviour).
+        Site-local arrivals are what a federated planner can keep inside
+        one shard; the remainder draws from the full universe and may span
+        sites.  Ignored on single-site scenarios.
+    num_site_partitions:
+        How many site-partition events to inject, at seeded times in the
+        middle of the run, on seeded distinct victim sites (capped at
+        ``num_sites - 1``; single-site scenarios get none).
+    partition_recovery_delay:
+        Partitioned sites re-attach after this delay (``None`` = never).
+    wan_drift_period / wan_drift_factor:
+        Every ``wan_drift_period`` time units the effective WAN gateway
+        capacity alternates between ``wan_drift_factor`` × nominal
+        (congestion when < 1) and nominal again (``None`` disables WAN
+        drift; single-site scenarios generate none).
     seed:
         Root seed of every random stream in the trace.
     """
@@ -97,6 +117,11 @@ class ChurnTraceConfig:
     burst_end_frac: float = 0.0
     arities: Tuple[int, ...] = (2, 3)
     zipf_exponent: float = 1.0
+    site_locality: float = 0.0
+    num_site_partitions: int = 0
+    partition_recovery_delay: Optional[float] = None
+    wan_drift_period: Optional[float] = None
+    wan_drift_factor: float = 0.5
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -110,15 +135,96 @@ class ChurnTraceConfig:
             raise WorkloadError("lifetime_buckets must be >= 1")
         if self.num_host_failures < 0:
             raise WorkloadError("num_host_failures must be non-negative")
-        for period in (self.drift_period, self.replan_period, self.recovery_delay):
+        for period in (
+            self.drift_period,
+            self.replan_period,
+            self.recovery_delay,
+            self.wan_drift_period,
+            self.partition_recovery_delay,
+        ):
             if period is not None and period <= 0:
                 raise WorkloadError("periods/delays must be positive when set")
+        if not 0.0 <= self.site_locality <= 1.0:
+            raise WorkloadError("site_locality must be within [0, 1]")
+        if self.num_site_partitions < 0:
+            raise WorkloadError("num_site_partitions must be non-negative")
+        if self.wan_drift_factor <= 0:
+            raise WorkloadError("wan_drift_factor must be positive")
         if self.burst_factor < 1.0:
             raise WorkloadError("burst_factor must be >= 1.0")
         if not (0.0 <= self.burst_start_frac <= self.burst_end_frac <= 1.0):
             raise WorkloadError(
                 "burst window fractions must satisfy 0 <= start <= end <= 1"
             )
+
+
+def _generate_items(scenario: Scenario, config: ChurnTraceConfig, root, count: int):
+    """The workload items of a trace, optionally with site-local arrivals.
+
+    Without locality (or on a single-site scenario) this is exactly the
+    original flat path — one generator over the full base-stream universe —
+    so pre-federation traces stay bit-identical.  With locality, each
+    arrival is first assigned (seeded) either to one site's stream universe
+    or to the global one, and per-universe child generators fill the slots
+    in arrival order.
+    """
+    spec = WorkloadSpec(
+        num_queries=count,
+        arities=config.arities,
+        zipf_exponent=config.zipf_exponent,
+    )
+    flat = config.site_locality <= 0.0 or scenario.num_sites <= 1
+    if flat:
+        return WorkloadGenerator(
+            scenario.base_stream_names(),
+            spec,
+            random_state=spawn_rng(root, "workload"),
+        ).generate()
+
+    min_universe = max(config.arities)
+    site_universe: Dict[int, List[str]] = {
+        site: scenario.site_stream_names(site)
+        for site in range(scenario.num_sites)
+    }
+    site_rng = spawn_rng(root, "sites")
+    choices: List[Optional[int]] = []
+    for _ in range(count):
+        if float(site_rng.random()) < config.site_locality:
+            site = int(site_rng.integers(scenario.num_sites))
+            # A site too small for the largest arity cannot host local
+            # queries; such arrivals fall back to the global universe.
+            if len(site_universe[site]) >= min_universe:
+                choices.append(site)
+                continue
+        choices.append(None)
+
+    from dataclasses import replace as _replace
+
+    pools: Dict[Optional[int], List] = {}
+    # Deterministic pool order (global universe first, then sites by id):
+    # spawn_rng draws from the *parent* stream, so the order of these calls
+    # is part of the seeding contract — iterating the raw set would leak
+    # hash(None)'s per-process value into every generated trace.
+    universes = sorted(set(choices), key=lambda u: (u is not None, u or 0))
+    for universe in universes:
+        needed = sum(1 for c in choices if c == universe)
+        if universe is None:
+            names = scenario.base_stream_names()
+            stream_name = "workload"
+        else:
+            names = site_universe[universe]
+            stream_name = f"workload_site{universe}"
+        pools[universe] = WorkloadGenerator(
+            names,
+            _replace(spec, num_queries=needed),
+            random_state=spawn_rng(root, stream_name),
+        ).generate()
+    items = []
+    cursors: Dict[Optional[int], int] = {u: 0 for u in pools}
+    for universe in choices:
+        items.append(pools[universe][cursors[universe]])
+        cursors[universe] += 1
+    return items
 
 
 def build_churn_schedule(
@@ -157,15 +263,7 @@ def build_churn_schedule(
         if clock >= config.duration:
             break
         arrival_times.append(clock)
-    items = WorkloadGenerator(
-        scenario.base_stream_names(),
-        WorkloadSpec(
-            num_queries=len(arrival_times),
-            arities=config.arities,
-            zipf_exponent=config.zipf_exponent,
-        ),
-        random_state=spawn_rng(root, "workload"),
-    ).generate()
+    items = _generate_items(scenario, config, root, len(arrival_times))
     lifetime_sampler = ZipfSampler(
         config.lifetime_buckets, config.lifetime_zipf_exponent, lifetime_rng
     )
@@ -202,6 +300,39 @@ def build_churn_schedule(
                 if recovery_time < config.duration:
                     events.append(HostRecovery(time=recovery_time, host=host))
 
+    # -------------------------------------------------- site partitions / WAN
+    max_partitions = min(config.num_site_partitions, max(0, scenario.num_sites - 1))
+    if max_partitions:
+        partition_rng = spawn_rng(root, "site_partitions")
+        partition_times = sorted(
+            float(t)
+            for t in partition_rng.uniform(
+                0.15 * config.duration, 0.85 * config.duration, size=max_partitions
+            )
+        )
+        partitioned_sites = [
+            int(s)
+            for s in partition_rng.choice(
+                scenario.num_sites, size=max_partitions, replace=False
+            )
+        ]
+        for time, site in zip(partition_times, partitioned_sites):
+            events.append(SitePartition(time=time, site=site))
+            if config.partition_recovery_delay is not None:
+                recovery_time = time + config.partition_recovery_delay
+                if recovery_time < config.duration:
+                    events.append(SiteRecovery(time=recovery_time, site=site))
+    if config.wan_drift_period is not None and scenario.num_sites > 1:
+        tick = config.wan_drift_period
+        congested = True
+        while tick < config.duration:
+            # Congestion pulses: capacities drop to the drift factor, then
+            # recover to nominal one period later, and so on.
+            factor = config.wan_drift_factor if congested else 1.0
+            events.append(WanDrift(time=tick, factor=factor))
+            congested = not congested
+            tick += config.wan_drift_period
+
     # ------------------------------------------------------------- drift/replan
     if config.drift_period is not None:
         tick = config.drift_period
@@ -226,10 +357,13 @@ def build_churn_schedule(
     priority = {
         QueryDeparture: 0,
         HostRecovery: 1,
-        HostFailure: 2,
-        QueryArrival: 3,
-        LoadDrift: 4,
-        ReplanTick: 5,
+        SiteRecovery: 2,
+        HostFailure: 3,
+        SitePartition: 4,
+        QueryArrival: 5,
+        LoadDrift: 6,
+        WanDrift: 7,
+        ReplanTick: 8,
     }
     events.sort(key=lambda e: (e.time, priority[type(e)], getattr(e, "arrival_index", -1)))
     return EventSchedule(events=events, seed=config.seed, duration=config.duration)
@@ -293,6 +427,35 @@ CHURN_SCENARIOS: Dict[str, Tuple[str, Callable[[int], ChurnTraceConfig]]] = {
             burst_end_frac=2.0 / 3.0,
             min_lifetime=6.0,
             lifetime_buckets=6,
+            seed=seed,
+        ),
+    ),
+    "site_partition": (
+        "Federated churn with mostly site-local arrivals and one site "
+        "partition that heals after 25 time units — cross-site queries are "
+        "evicted at the cut and re-planned, ideally inside one side.  "
+        "Degrades to steady churn on single-site scenarios.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.5,
+            site_locality=0.75,
+            num_site_partitions=1,
+            partition_recovery_delay=25.0,
+            seed=seed,
+        ),
+    ),
+    "wan_stress": (
+        "Federated churn under WAN congestion pulses: every 15 time units "
+        "the shared gateway capacities drop to 40% of nominal and recover "
+        "one period later, evicting and re-planning the queries whose "
+        "gateways no longer fit.  Degrades to steady churn on single-site "
+        "scenarios.",
+        lambda seed: ChurnTraceConfig(
+            duration=100.0,
+            arrival_rate=0.5,
+            site_locality=0.6,
+            wan_drift_period=15.0,
+            wan_drift_factor=0.4,
             seed=seed,
         ),
     ),

@@ -49,6 +49,12 @@ class SimulationScenarioConfig:
     selectivity_high: float = 0.5
     decomposition: DecompositionMode = DecompositionMode.EXHAUSTIVE
     seed: int = 7
+    #: Number of resource sites the hosts are grouped into (federated
+    #: topologies; 1 = the paper's flat data centre).
+    num_sites: int = 1
+    #: Shared WAN gateway capacity between every site pair (Mbps); ``None``
+    #: leaves inter-site traffic constrained only by per-pair links.
+    wan_capacity: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,8 @@ class ClusterScenarioConfig:
     selectivity_high: float = 0.5
     decomposition: DecompositionMode = DecompositionMode.CANONICAL
     seed: int = 11
+    num_sites: int = 1
+    wan_capacity: Optional[float] = None
 
 
 @dataclass
@@ -87,33 +95,63 @@ class Scenario:
     cost_model: LinearCostModel
     decomposition: DecompositionMode
     seed: int
+    num_sites: int = 1
+    wan_capacity: Optional[float] = None
+
+    # -------------------------------------------------------------------- sites
+    def site_of_host(self, host_id: int) -> int:
+        """The site of ``host_id``: contiguous blocks of hosts per site."""
+        if self.num_sites <= 1:
+            return 0
+        return host_id * self.num_sites // self.num_hosts
 
     # ------------------------------------------------------------------ catalog
     def base_stream_names(self) -> List[str]:
         """The names of the base streams of this scenario."""
         return [f"b{i}" for i in range(self.num_base_streams)]
 
+    def _stream_host_order(self) -> List[int]:
+        """The seeded host shuffle base streams are dealt over (round-robin)."""
+        rng = ensure_rng(self.seed)
+        return [int(h) for h in rng.permutation(self.num_hosts)]
+
+    def site_stream_names(self, site: int) -> List[str]:
+        """Names of the base streams whose injection host lies in ``site``.
+
+        Recomputes the same seeded shuffle :meth:`build_catalog` uses, so
+        site-local workloads can be generated without building a catalog.
+        """
+        host_order = self._stream_host_order()
+        return [
+            name
+            for index, name in enumerate(self.base_stream_names())
+            if self.site_of_host(host_order[index % self.num_hosts]) == site
+        ]
+
     def build_catalog(self) -> SystemCatalog:
         """Build a fresh catalog: hosts, topology and base streams.
 
         Base streams are distributed uniformly (round-robin from a seeded
         shuffle) over the hosts, as in the paper's workload description.
+        Hosts are grouped into ``num_sites`` contiguous blocks; with a
+        ``wan_capacity`` the site pairs share constrained WAN gateways.
         """
         catalog = SystemCatalog(
             cost_model=self.cost_model,
             decomposition=self.decomposition,
             default_link_capacity=self.link_capacity,
+            default_wan_capacity=self.wan_capacity if self.num_sites > 1 else None,
         )
         for index in range(self.num_hosts):
             catalog.add_host(
                 cpu_capacity=self.host_cpu_capacity,
                 bandwidth_capacity=self.host_bandwidth,
                 name=f"host{index}",
+                site=self.site_of_host(index),
             )
-        rng = ensure_rng(self.seed)
-        host_order = list(rng.permutation(self.num_hosts))
+        host_order = self._stream_host_order()
         for index, name in enumerate(self.base_stream_names()):
-            host_id = int(host_order[index % self.num_hosts])
+            host_id = host_order[index % self.num_hosts]
             catalog.add_base_stream(name, self.base_stream_rate, host_id)
         return catalog
 
@@ -154,6 +192,20 @@ class Scenario:
         """A copy with a different base-stream universe size (Fig. 4c)."""
         return replace(self, num_base_streams=num_base_streams)
 
+    def with_sites(
+        self, num_sites: int, wan_capacity: Optional[float] = None
+    ) -> "Scenario":
+        """A copy grouped into ``num_sites`` sites (federated scaling).
+
+        ``wan_capacity`` overrides the shared gateway capacity; omitting it
+        keeps the scenario's current setting.
+        """
+        return replace(
+            self,
+            num_sites=num_sites,
+            wan_capacity=self.wan_capacity if wan_capacity is None else wan_capacity,
+        )
+
 
 def build_simulation_scenario(
     config: Optional[SimulationScenarioConfig] = None,
@@ -178,6 +230,8 @@ def build_simulation_scenario(
         cost_model=cost_model,
         decomposition=config.decomposition,
         seed=config.seed,
+        num_sites=config.num_sites,
+        wan_capacity=config.wan_capacity,
     )
 
 
@@ -204,4 +258,6 @@ def build_cluster_scenario(
         cost_model=cost_model,
         decomposition=config.decomposition,
         seed=config.seed,
+        num_sites=config.num_sites,
+        wan_capacity=config.wan_capacity,
     )

@@ -25,6 +25,9 @@ from repro.dsps.allocation import (
     delta_touched_sets,
     touched_between,
 )
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.query import DecompositionMode
 from tests.conftest import make_catalog, query_over
 
 APPROX = dict(rel=1e-9, abs=1e-9)
@@ -539,3 +542,137 @@ class TestDeltaTouchedSets:
         allocation.apply(delta)
         report = allocation.validate_delta(*delta_touched_sets(delta, CATALOG))
         assert sorted(report) == sorted(allocation.validate())
+
+
+# --------------------------------------------------------------- federated
+def build_federated_catalog():
+    """A two-site catalog with a deliberately tight WAN gateway, so random
+    mutation sequences routinely overload it (the mirror tests must agree
+    on violations, not just on clean states)."""
+    catalog = SystemCatalog(
+        cost_model=LinearCostModel(seed=1),
+        decomposition=DecompositionMode.CANONICAL,
+        default_link_capacity=1000.0,
+        default_wan_capacity=25.0,
+    )
+    for i in range(NUM_HOSTS + 1):
+        catalog.add_host(
+            cpu_capacity=10.0,
+            bandwidth_capacity=200.0,
+            name=f"h{i}",
+            site=i // 2,
+        )
+    for i in range(NUM_BASE):
+        catalog.add_base_stream(f"b{i}", 10.0, i % (NUM_HOSTS + 1))
+    catalog.register_query(query_over("b0", "b1"))
+    catalog.register_query(query_over("b1", "b2"))
+    catalog.register_query(query_over("b2", "b3"))
+    return catalog
+
+
+FED_CATALOG = build_federated_catalog()
+FED_HOSTS = list(range(NUM_HOSTS + 1))
+FED_SITES = FED_CATALOG.sites
+
+
+@st.composite
+def fed_mutations(draw, max_ops: int = 30):
+    """Random raw mutations over the federated catalog's id spaces."""
+    ops = []
+    stream_ids = sorted(
+        set(range(NUM_BASE)) | {q.result_stream for q in FED_CATALOG.queries}
+    )
+    operator_ids = [op.operator_id for op in FED_CATALOG.operators]
+    for _ in range(draw(st.integers(min_value=1, max_value=max_ops))):
+        kind = draw(
+            st.sampled_from(
+                ["add_flow", "remove_flow", "add_place", "remove_place", "copy"]
+            )
+        )
+        if kind in ("add_flow", "remove_flow"):
+            src = draw(st.sampled_from(FED_HOSTS))
+            dst = draw(st.sampled_from([h for h in FED_HOSTS if h != src]))
+            ops.append((kind, (src, dst, draw(st.sampled_from(stream_ids)))))
+        elif kind in ("add_place", "remove_place"):
+            ops.append(
+                (
+                    kind,
+                    (
+                        draw(st.sampled_from(FED_HOSTS)),
+                        draw(st.sampled_from(operator_ids)),
+                    ),
+                )
+            )
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+class TestFederatedAggregateMirror:
+    """Hypothesis mirrors pinning the per-site aggregates to naive
+    recomputation, matching the PR 4 index-mirror pattern."""
+
+    @given(ops=fed_mutations())
+    @common_settings
+    def test_site_aggregates_equal_naive_recomputation(self, ops):
+        allocation = Allocation(FED_CATALOG)
+        for op in ops:
+            allocation = apply_mutation(allocation, op)
+        for site in FED_SITES:
+            assert allocation.site_cpu_used(site) == pytest.approx(
+                allocation.site_cpu_used_scan(site), **APPROX
+            )
+            for other in FED_SITES:
+                assert allocation.wan_used(site, other) == pytest.approx(
+                    allocation.wan_used_scan(site, other), **APPROX
+                )
+        # wan_usage() lists exactly the pairs with live crossings.
+        naive_pairs = {
+            (FED_CATALOG.site_of_host(src), FED_CATALOG.site_of_host(dst))
+            for (src, dst, _s) in allocation.flows
+            if FED_CATALOG.site_of_host(src) != FED_CATALOG.site_of_host(dst)
+        }
+        assert set(allocation.wan_usage()) == naive_pairs
+        # Excluded-scan parity, mirroring the link_used exclusion contract.
+        exclude = set(
+            sorted({s for (_h, _m, s) in allocation.flows})[::2]
+        )
+        for site in FED_SITES:
+            for other in FED_SITES:
+                assert allocation.wan_used(site, other, exclude) == pytest.approx(
+                    allocation.wan_used_scan(site, other)
+                    - sum(
+                        FED_CATALOG.stream_rate(s)
+                        for (src, dst, s) in allocation.flows
+                        if s in exclude
+                        and FED_CATALOG.site_of_host(src) == site
+                        and FED_CATALOG.site_of_host(dst) == other
+                        and site != other
+                    ),
+                    **APPROX,
+                )
+
+    @given(ops=fed_mutations())
+    @common_settings
+    def test_wan_and_liveness_delta_equals_oracle(self, ops):
+        """validate_delta over everything touched reports exactly the WAN /
+        site-liveness violations the full oracle reports — including under
+        a partition."""
+        allocation = Allocation(FED_CATALOG)
+        touched_hosts, touched_streams, touched_operators = set(), set(), set()
+        for op in ops:
+            allocation = apply_mutation(allocation, op)
+            hosts, streams, operators = allocation.drain_touched()
+            touched_hosts |= hosts
+            touched_streams |= streams
+            touched_operators |= operators
+        delta_report = allocation.validate_delta(
+            touched_hosts, touched_streams, touched_operators
+        )
+        assert sorted(delta_report) == sorted(allocation.validate())
+        FED_CATALOG.partition_site(FED_SITES[-1])
+        try:
+            partition_report = allocation.validate_delta(set(FED_HOSTS))
+            assert sorted(partition_report) == sorted(allocation.validate())
+        finally:
+            FED_CATALOG.heal_site(FED_SITES[-1])

@@ -325,3 +325,40 @@ class TestHooks:
         report = replanner.replan(victim_ids=[outcome.query.query_id])
         assert reports == [report]
         assert report.victims == [outcome.query.query_id]
+
+
+class TestTopLevelExports:
+    """The main user-facing entry points are importable from ``repro``
+    directly, so examples and docs never reach into submodules."""
+
+    def test_primary_entry_points_are_exported(self):
+        import repro
+
+        for name in (
+            "create_planner",
+            "SimulationHarness",
+            "CHURN_SCENARIOS",
+            "run_churn_experiment",
+            "run_named_churn_experiment",
+            "FederatedPlanner",
+            "SiteCatalogView",
+            "SitePartition",
+            "SiteRecovery",
+            "WanDrift",
+            "build_named_churn_schedule",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_lazy_timeline_exports_resolve(self):
+        import repro
+        from repro.experiments import timeline
+
+        assert repro.run_churn_experiment is timeline.run_churn_experiment
+        assert repro.run_named_churn_experiment is timeline.run_named_churn_experiment
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing

@@ -1,0 +1,232 @@
+"""Site-level dynamics through the engine and the simulation harness:
+partitions evict exactly the straddling queries, healing restores the WAN,
+WAN drift drains overloaded gateways, and the harness drives it all with
+per-event delta validation and stable counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.engine import ClusterEngine
+from repro.exceptions import CatalogError
+from repro.sim import SimulationHarness
+from repro.sim.events import (
+    EventSchedule,
+    QueryArrival,
+    SitePartition,
+    SiteRecovery,
+    WanDrift,
+)
+from repro.workloads.churn import CHURN_SCENARIOS, ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+from tests.test_federated_planner import make_federated_catalog, stream_names_of_site
+from tests.conftest import query_over
+
+
+def federated_scenario(num_sites: int = 2):
+    from repro.dsps.query import DecompositionMode
+
+    return build_simulation_scenario(
+        SimulationScenarioConfig(
+            num_hosts=3 * num_sites,
+            num_base_streams=7 * num_sites,
+            host_cpu_capacity=6.0,
+            host_bandwidth=250.0,
+            decomposition=DecompositionMode.CANONICAL,
+            num_sites=num_sites,
+            wan_capacity=120.0,
+            seed=3,
+        )
+    )
+
+
+def planner_with_mixed_queries():
+    """A federated planner with one query per site plus one cross-site."""
+    catalog = make_federated_catalog()
+    planner = create_planner(
+        "federated:sqpr", catalog, config=PlannerConfig(time_limit=None)
+    )
+    site0 = stream_names_of_site(catalog, 0)
+    site1 = stream_names_of_site(catalog, 1)
+    local0 = planner.submit(query_over(*site0[:2])).query.query_id
+    local1 = planner.submit(query_over(*site1[:2])).query.query_id
+    cross = planner.submit(query_over(site0[0], site1[0])).query.query_id
+    return catalog, planner, (local0, local1, cross)
+
+
+class TestEngineSiteLifecycle:
+    def test_partition_evicts_only_straddling_queries(self):
+        catalog, planner, (local0, local1, cross) = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.adopt(planner.allocation, trusted=True)
+        report = engine.partition_site(1)
+        assert report.site == 1
+        assert report.victims == [cross]
+        assert report.clean
+        assert cross not in engine.allocation.admitted_queries
+        assert {local0, local1} <= set(engine.allocation.admitted_queries)
+        # No surviving structure crosses the boundary.
+        assert engine.allocation.wan_usage() == {}
+        assert engine.allocation.validate() == []
+
+    def test_partition_twice_raises(self):
+        catalog, _planner, _qids = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.partition_site(0)
+        with pytest.raises(CatalogError):
+            engine.partition_site(0)
+
+    def test_heal_requires_partition(self):
+        catalog, _planner, _qids = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        with pytest.raises(CatalogError):
+            engine.heal_site(0)
+        engine.partition_site(0)
+        report = engine.heal_site(0)
+        assert report.clean
+        assert not catalog.is_site_partitioned(0)
+
+    def test_wan_drift_evicts_queries_on_overloaded_gateways(self):
+        catalog, planner, (local0, local1, cross) = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.adopt(planner.allocation, trusted=True)
+        used = sum(planner.allocation.wan_usage().values())
+        assert used > 0
+        # Drift low enough that the cross-site query no longer fits.
+        factor = (used / 2.0) / catalog.wan_capacity(0, 1)
+        report = engine.apply_wan_drift(factor)
+        assert report.victims == [cross]
+        assert report.clean
+        assert engine.allocation.wan_usage() == {}
+        # Recovery to nominal evicts nothing.
+        report = engine.apply_wan_drift(1.0)
+        assert report.victims == []
+        assert report.clean
+
+    def test_wan_drift_without_overload_is_a_no_op(self):
+        catalog, planner, qids = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.adopt(planner.allocation, trusted=True)
+        before = set(engine.allocation.admitted_queries)
+        report = engine.apply_wan_drift(0.99)
+        assert report.victims == []
+        assert set(engine.allocation.admitted_queries) == before
+
+    def test_engine_reset_heals_partitions_and_drift(self):
+        catalog, _planner, _qids = planner_with_mixed_queries()
+        engine = ClusterEngine(catalog, strict=False)
+        engine.partition_site(1)
+        catalog.set_wan_drift(0.25)
+        engine.reset()
+        assert catalog.partitioned_sites == []
+        assert catalog.wan_drift == 1.0
+
+
+class TestHarnessSiteEvents:
+    def build_schedule(self, scenario, events):
+        return EventSchedule(events=events, seed=5, duration=100.0)
+
+    def test_partition_and_recovery_counters(self):
+        scenario = federated_scenario()
+        site0 = scenario.site_stream_names(0)
+        site1 = scenario.site_stream_names(1)
+        from repro.dsps.query import QueryWorkloadItem
+
+        events = [
+            QueryArrival(
+                time=1.0,
+                item=QueryWorkloadItem(base_names=tuple(site0[:2])),
+                arrival_index=0,
+            ),
+            QueryArrival(
+                time=2.0,
+                item=QueryWorkloadItem(base_names=(site0[0], site1[0])),
+                arrival_index=1,
+            ),
+            SitePartition(time=10.0, site=1),
+            SiteRecovery(time=30.0, site=1),
+            WanDrift(time=40.0, factor=0.5),
+            WanDrift(time=50.0, factor=1.0),
+        ]
+        schedule = self.build_schedule(scenario, events)
+        planner = create_planner(
+            "federated:sqpr",
+            scenario.build_catalog(),
+            config=PlannerConfig(time_limit=None),
+        )
+        result = SimulationHarness(planner).run(schedule)
+        counters = result.counters
+        assert counters["site_partitions"] == 1
+        assert counters["site_recoveries"] == 1
+        assert counters["wan_drift_events"] == 2
+        # The cross-site query was evicted at the cut (and possibly
+        # re-admitted inside one side).
+        assert counters["evicted"] >= 1
+        assert result.final_violations == []
+
+    @pytest.mark.parametrize("planner_name", ["heuristic", "federated:sqpr"])
+    def test_site_partition_scenario_deterministic(self, planner_name):
+        scenario = federated_scenario()
+        config = CHURN_SCENARIOS["site_partition"][1](17)
+        schedule = build_churn_schedule(scenario, config)
+        assert schedule.counts_by_kind().get("SitePartition", 0) == 1
+        fingerprints = []
+        for _run in range(2):
+            planner = create_planner(
+                planner_name,
+                scenario.build_catalog(),
+                config=PlannerConfig(time_limit=None),
+            )
+            result = SimulationHarness(planner).run(schedule)
+            assert result.final_violations == []
+            fingerprints.append(result.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_wan_stress_scenario_keeps_invariants_in_both_modes(self):
+        scenario = federated_scenario()
+        config = CHURN_SCENARIOS["wan_stress"][1](23)
+        schedule = build_churn_schedule(scenario, config)
+        assert schedule.counts_by_kind().get("WanDrift", 0) > 0
+        results = []
+        for mode in ("delta", "full"):
+            planner = create_planner(
+                "federated:heuristic",
+                scenario.build_catalog(),
+                config=PlannerConfig(time_limit=None),
+            )
+            result = SimulationHarness(planner, validation_mode=mode).run(schedule)
+            assert result.final_violations == []
+            results.append(result.fingerprint())
+        # Delta validation is a pure optimisation, event for event.
+        assert results[0] == results[1]
+
+    def test_single_site_scenarios_generate_no_site_events(self):
+        scenario = federated_scenario(num_sites=1)
+        for name in ("site_partition", "wan_stress"):
+            config = CHURN_SCENARIOS[name][1](3)
+            schedule = build_churn_schedule(scenario, config)
+            counts = schedule.counts_by_kind()
+            assert counts.get("SitePartition", 0) == 0
+            assert counts.get("WanDrift", 0) == 0
+
+    def test_site_locality_draws_from_one_site(self):
+        scenario = federated_scenario()
+        config = ChurnTraceConfig(
+            duration=60.0, arrival_rate=0.5, site_locality=1.0, seed=9
+        )
+        schedule = build_churn_schedule(scenario, config)
+        site_universes = [
+            set(scenario.site_stream_names(site))
+            for site in range(scenario.num_sites)
+        ]
+        local = 0
+        for event in schedule:
+            if isinstance(event, QueryArrival):
+                names = set(event.item.base_names)
+                local += any(names <= universe for universe in site_universes)
+        assert schedule.num_arrivals > 0
+        assert local == schedule.num_arrivals

@@ -1,0 +1,117 @@
+"""Golden regression test: a seeded federated churn scenario.
+
+A two-site scenario with mostly site-local arrivals, one site partition
+that heals mid-run, and WAN-constrained gateways is driven through the
+inner planners and their federated counterparts; the per-planner
+admission/eviction/drop counters are committed as
+``tests/fixtures/golden_federated_churn.json``.  Cross-site determinism —
+routing, coordinator sync, partition eviction and re-admission — is pinned
+the same way ``golden_churn.json`` pins the flat simulator.
+
+When a change is intentional, regenerate the fixture and commit it::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_federated.py -q
+
+The scenario is solver-deterministic (``time_limit=None`` and small enough
+to solve every round to proven optimality), so no number in the fixture
+depends on machine speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.query import DecompositionMode
+from repro.sim import SimulationHarness
+from repro.workloads.churn import build_named_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_federated_churn.json"
+PLANNERS = ("heuristic", "sqpr", "federated:heuristic", "federated:sqpr")
+
+GOLDEN_SCENARIO = SimulationScenarioConfig(
+    num_hosts=6,
+    num_base_streams=14,
+    host_cpu_capacity=6.0,
+    host_bandwidth=250.0,
+    decomposition=DecompositionMode.CANONICAL,
+    num_sites=2,
+    wan_capacity=120.0,
+    seed=3,
+)
+
+SCENARIO_NAME = "site_partition"
+SCHEDULE_SEED = 11
+
+
+def build_golden_schedule():
+    scenario = build_simulation_scenario(GOLDEN_SCENARIO)
+    return scenario, build_named_churn_schedule(
+        SCENARIO_NAME, scenario, seed=SCHEDULE_SEED
+    )
+
+
+def run_golden(planner_name: str):
+    scenario, schedule = build_golden_schedule()
+    planner = create_planner(
+        planner_name, scenario.build_catalog(), config=PlannerConfig(time_limit=None)
+    )
+    return SimulationHarness(planner).run(schedule)
+
+
+def observed_entry(result) -> dict:
+    return {
+        "counters": dict(sorted(result.counters.items())),
+        "final_active": result.final_active,
+    }
+
+
+def test_schedule_contains_partition_and_recovery():
+    _scenario, schedule = build_golden_schedule()
+    counts = schedule.counts_by_kind()
+    assert counts["SitePartition"] == 1
+    assert counts["SiteRecovery"] == 1
+    assert counts["QueryArrival"] >= 40
+
+
+def test_site_partition_scenario_validates_per_event_in_delta_mode():
+    """Acceptance criterion: the site-partition scenario passes per-event
+    ``validate_delta`` — including the WAN-capacity and site-liveness
+    invariants — and the final full-oracle pass."""
+    scenario, schedule = build_golden_schedule()
+    planner = create_planner(
+        "federated:sqpr",
+        scenario.build_catalog(),
+        config=PlannerConfig(time_limit=None),
+    )
+    harness = SimulationHarness(planner, validation_mode="delta")
+    result = harness.run(schedule)  # raises SimulationError on any violation
+    assert result.counters["site_partitions"] == 1
+    assert result.counters["site_recoveries"] == 1
+    assert result.validate_calls > 0
+    assert result.final_violations == []
+
+
+@pytest.mark.slow
+def test_golden_federated_churn_counts_match_fixture():
+    observed = {name: observed_entry(run_golden(name)) for name in PLANNERS}
+
+    if os.environ.get("REGEN_GOLDEN"):
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(observed, indent=2) + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {FIXTURE}")
+
+    expected = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert observed == expected, (
+        "federated churn simulation results drifted from the committed "
+        "fixture; if this change is intentional, regenerate with "
+        "REGEN_GOLDEN=1 and commit the new fixture"
+    )

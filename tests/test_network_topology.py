@@ -1,0 +1,220 @@
+"""Direct coverage of :class:`repro.dsps.network.NetworkTopology` — pair
+validation, symmetric/asymmetric capacities, scaling — plus the catalog's
+link/WAN capacity plumbing (asymmetric round-trips, partitions, drift).
+
+Before the federated refactor the topology was only covered indirectly
+through planner behaviour; these tests pin its contract explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.network import NetworkTopology
+from repro.exceptions import CatalogError
+
+
+class TestPairValidation:
+    def test_rejects_empty_topology(self):
+        with pytest.raises(CatalogError):
+            NetworkTopology(0, 100.0)
+
+    def test_rejects_negative_default_capacity(self):
+        with pytest.raises(Exception):
+            NetworkTopology(2, -1.0)
+
+    @pytest.mark.parametrize("pair", [(-1, 0), (0, -1), (3, 0), (0, 3)])
+    def test_rejects_out_of_range_hosts(self, pair):
+        topo = NetworkTopology(3, 100.0)
+        with pytest.raises(CatalogError):
+            topo.capacity(*pair)
+        with pytest.raises(CatalogError):
+            topo.set_capacity(*pair, 10.0)
+
+    def test_self_loop_is_zero(self):
+        topo = NetworkTopology(3, 100.0)
+        assert topo.capacity(1, 1) == 0.0
+
+    def test_site_assignment_must_cover_all_hosts(self):
+        with pytest.raises(CatalogError):
+            NetworkTopology(3, 100.0, sites=[0, 1])
+        with pytest.raises(CatalogError):
+            NetworkTopology(2, 100.0, sites=[0, -1])
+
+
+class TestCapacities:
+    def test_default_applies_to_unset_pairs(self):
+        topo = NetworkTopology(3, 100.0)
+        assert topo.capacity(0, 1) == 100.0
+        assert topo.capacity(2, 0) == 100.0
+
+    def test_symmetric_set_capacity_round_trip(self):
+        topo = NetworkTopology(3, 100.0)
+        topo.set_capacity(0, 1, 42.0)
+        assert topo.capacity(0, 1) == 42.0
+        assert topo.capacity(1, 0) == 42.0
+        assert topo.capacity(0, 2) == 100.0
+
+    def test_asymmetric_set_capacity_round_trip(self):
+        """WAN up/down links differ: symmetric=False leaves the reverse
+        direction at its previous value."""
+        topo = NetworkTopology(3, 100.0)
+        topo.set_capacity(0, 1, 80.0, symmetric=False)
+        assert topo.capacity(0, 1) == 80.0
+        assert topo.capacity(1, 0) == 100.0
+        topo.set_capacity(1, 0, 8.0, symmetric=False)
+        assert topo.capacity(0, 1) == 80.0
+        assert topo.capacity(1, 0) == 8.0
+
+    def test_pairs_enumerates_all_ordered_distinct_pairs(self):
+        topo = NetworkTopology(3, 100.0)
+        assert sorted(topo.pairs()) == [
+            (0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1),
+        ]
+
+
+class TestSitesAndWan:
+    def build(self):
+        return NetworkTopology(
+            4, 100.0, sites=[0, 0, 1, 1], default_wan_capacity=50.0
+        )
+
+    def test_site_queries(self):
+        topo = self.build()
+        assert topo.num_sites == 2
+        assert topo.sites == (0, 1)
+        assert topo.site_of(0) == 0
+        assert topo.site_of(3) == 1
+        assert topo.hosts_in_site(1) == (2, 3)
+        assert sorted(topo.site_pairs()) == [(0, 1), (1, 0)]
+
+    def test_flat_topology_has_one_site_and_no_wan(self):
+        topo = NetworkTopology(3, 100.0)
+        assert topo.num_sites == 1
+        assert topo.site_of(2) == 0
+        with pytest.raises(CatalogError):
+            topo.wan_capacity(0, 1)  # site 1 does not exist
+
+    def test_wan_default_and_overrides(self):
+        topo = self.build()
+        assert topo.wan_capacity(0, 1) == 50.0
+        assert topo.wan_capacity(0, 0) is None  # intra-site: no gateway
+        topo.set_wan_capacity(0, 1, 30.0)
+        assert topo.wan_capacity(0, 1) == 30.0
+        assert topo.wan_capacity(1, 0) == 30.0
+
+    def test_asymmetric_wan_capacities(self):
+        topo = self.build()
+        topo.set_wan_capacity(0, 1, 40.0, symmetric=False)
+        assert topo.wan_capacity(0, 1) == 40.0
+        assert topo.wan_capacity(1, 0) == 50.0
+
+    def test_wan_rejects_unknown_sites_and_self_pair(self):
+        topo = self.build()
+        with pytest.raises(CatalogError):
+            topo.set_wan_capacity(0, 7, 10.0)
+        with pytest.raises(CatalogError):
+            topo.set_wan_capacity(0, 0, 10.0)
+
+    def test_unconstrained_wan_by_default(self):
+        topo = NetworkTopology(4, 100.0, sites=[0, 0, 1, 1])
+        assert topo.wan_capacity(0, 1) is None
+
+
+class TestScaled:
+    def test_scaled_multiplies_links_and_wan_and_keeps_sites(self):
+        topo = NetworkTopology(
+            4, 100.0, sites=[0, 0, 1, 1], default_wan_capacity=50.0
+        )
+        topo.set_capacity(0, 1, 40.0, symmetric=False)
+        topo.set_wan_capacity(0, 1, 30.0, symmetric=False)
+        clone = topo.scaled(2.0)
+        assert clone.default_capacity == 200.0
+        assert clone.capacity(0, 1) == 80.0
+        assert clone.capacity(1, 0) == 200.0  # default, scaled
+        assert clone.wan_capacity(0, 1) == 60.0
+        assert clone.wan_capacity(1, 0) == 100.0  # default WAN, scaled
+        assert clone.site_of(2) == 1
+        # The original is untouched.
+        assert topo.capacity(0, 1) == 40.0
+        assert topo.wan_capacity(0, 1) == 30.0
+
+    def test_scaled_without_wan_stays_unconstrained(self):
+        topo = NetworkTopology(2, 100.0)
+        assert topo.scaled(3.0).default_capacity == 300.0
+
+    def test_scaled_rejects_non_positive_factor(self):
+        topo = NetworkTopology(2, 100.0)
+        with pytest.raises(Exception):
+            topo.scaled(0.0)
+
+
+class TestCatalogPlumbing:
+    def build_catalog(self):
+        catalog = SystemCatalog(default_wan_capacity=60.0)
+        for i in range(4):
+            catalog.add_host(8.0, 400.0, site=i // 2)
+        return catalog
+
+    def test_set_link_capacity_symmetric_default(self):
+        catalog = self.build_catalog()
+        catalog.set_link_capacity(0, 1, 120.0)
+        assert catalog.link_capacity(0, 1) == 120.0
+        assert catalog.link_capacity(1, 0) == 120.0
+
+    def test_set_link_capacity_asymmetric(self):
+        """The satellite fix: asymmetric capacities survive the catalog
+        round-trip and its topology materialisation."""
+        catalog = self.build_catalog()
+        catalog.set_link_capacity(0, 1, 120.0, symmetric=False)
+        assert catalog.link_capacity(0, 1) == 120.0
+        assert catalog.link_capacity(1, 0) == 1000.0
+        topo = catalog.topology()
+        assert topo.capacity(0, 1) == 120.0
+        assert topo.capacity(1, 0) == 1000.0
+
+    def test_topology_carries_sites_and_wan(self):
+        catalog = self.build_catalog()
+        catalog.set_wan_capacity(0, 1, 45.0, symmetric=False)
+        topo = catalog.topology()
+        assert topo.num_sites == 2
+        assert topo.site_of(3) == 1
+        assert topo.wan_capacity(0, 1) == 45.0
+        assert topo.wan_capacity(1, 0) == 60.0
+
+    def test_cross_site_link_capacity_capped_at_effective_wan(self):
+        catalog = self.build_catalog()
+        # Intra-site pair: full link capacity.
+        assert catalog.link_capacity(0, 1) == 1000.0
+        # Cross-site pair: capped at the gateway.
+        assert catalog.link_capacity(0, 2) == 60.0
+        catalog.set_wan_drift(0.5)
+        assert catalog.link_capacity(0, 2) == 30.0
+        catalog.partition_site(1)
+        assert catalog.link_capacity(0, 2) == 0.0
+        catalog.heal_site(1)
+        catalog.set_wan_drift(1.0)
+        assert catalog.link_capacity(0, 2) == 60.0
+
+    def test_partition_state_round_trip(self):
+        catalog = self.build_catalog()
+        assert catalog.partitioned_sites == []
+        catalog.partition_site(1)
+        assert catalog.is_site_partitioned(1)
+        assert catalog.effective_wan_capacity(0, 1) == 0.0
+        catalog.heal_site(1)
+        assert not catalog.is_site_partitioned(1)
+        assert catalog.effective_wan_capacity(0, 1) == 60.0
+        with pytest.raises(CatalogError):
+            catalog.partition_site(7)
+
+    def test_wan_capacity_none_means_unconstrained(self):
+        catalog = SystemCatalog()
+        for i in range(4):
+            catalog.add_host(8.0, 400.0, site=i // 2)
+        assert catalog.wan_capacity(0, 1) is None
+        assert catalog.effective_wan_capacity(0, 1) is None
+        # A partition still forces the gateway shut.
+        catalog.partition_site(0)
+        assert catalog.effective_wan_capacity(0, 1) == 0.0
