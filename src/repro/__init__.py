@@ -14,6 +14,9 @@ The package is organised as:
   Algorithm 1, adaptive re-planning, optimistic bound),
 * :mod:`repro.baselines` — the heuristic planner and a SODA-like planner,
 * :mod:`repro.workloads` — workload generation and evaluation scenarios,
+* :mod:`repro.service` — a long-running admission service over a planner:
+  bounded intake with overload policies, batch coalescing, pipelined
+  deploys through the cluster engine, and a metrics registry,
 * :mod:`repro.experiments` — planner-agnostic drivers reproducing every
   figure of §V.
 
@@ -85,8 +88,17 @@ from repro.sim import (
     WanDrift,
 )
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
+from repro.service import (
+    AdmissionService,
+    AdmissionTicket,
+    AdmissionTimeout,
+    MetricsRegistry,
+    QueueFullError,
+    ServiceClosed,
+    ServiceConfig,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # unified planner API
@@ -145,6 +157,14 @@ __all__ = [
     "SitePartition",
     "SiteRecovery",
     "WanDrift",
+    # admission service
+    "AdmissionService",
+    "AdmissionTicket",
+    "AdmissionTimeout",
+    "MetricsRegistry",
+    "QueueFullError",
+    "ServiceClosed",
+    "ServiceConfig",
     "run_churn_experiment",
     "run_named_churn_experiment",
     "__version__",

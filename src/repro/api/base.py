@@ -25,8 +25,10 @@ that dict so ``outcome.marginal_cpu`` keeps working.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -37,6 +39,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -256,14 +259,30 @@ class PlannerStats:
     re-planning can shrink it); planners without one (the optimistic bound)
     count admitted outcomes.  For a planner that never re-plans the two
     coincide — ``tests/test_api.py`` asserts this parity.
+
+    Recording and reading are safe under concurrent use (several threads
+    driving one planner, the federated planner's concurrent shard mode):
+    :meth:`Planner._record` appends under the planner's stats lock and the
+    aggregate readers iterate a snapshot taken under the same lock, so a
+    rate or mean computed mid-append never mixes a stale length with fresh
+    contents.
     """
 
     outcomes: List[PlanningOutcome]
 
+    def _stats_guard(self):
+        """The planner's stats lock, or a no-op guard for bare mixin use."""
+        return self.__dict__.get("_stats_lock") or nullcontext()
+
+    def _outcomes_snapshot(self) -> Tuple[PlanningOutcome, ...]:
+        """A point-in-time copy of the recorded outcomes."""
+        with self._stats_guard():
+            return tuple(self.outcomes)
+
     @property
     def num_submitted(self) -> int:
         """Number of queries submitted so far."""
-        return len(self.outcomes)
+        return len(self._outcomes_snapshot())
 
     @property
     def num_admitted(self) -> int:
@@ -271,19 +290,21 @@ class PlannerStats:
         allocation = getattr(self, "allocation", None)
         if allocation is not None:
             return len(allocation.admitted_queries)
-        return sum(1 for outcome in self.outcomes if outcome.admitted)
+        return sum(1 for outcome in self._outcomes_snapshot() if outcome.admitted)
 
     def admission_rate(self) -> float:
         """Fraction of submitted queries that were admitted."""
-        if not self.outcomes:
+        outcomes = self._outcomes_snapshot()
+        if not outcomes:
             return 0.0
-        return sum(1 for o in self.outcomes if o.admitted) / len(self.outcomes)
+        return sum(1 for o in outcomes if o.admitted) / len(outcomes)
 
     def average_planning_time(self) -> float:
         """Mean planning time per submitted query (seconds)."""
-        if not self.outcomes:
+        outcomes = self._outcomes_snapshot()
+        if not outcomes:
             return 0.0
-        return sum(o.planning_time for o in self.outcomes) / len(self.outcomes)
+        return sum(o.planning_time for o in outcomes) / len(outcomes)
 
 
 class Planner(PlannerStats, ABC):
@@ -314,6 +335,9 @@ class Planner(PlannerStats, ABC):
         self.config = config or PlannerConfig()
         self.hooks = PlannerHooks()
         self.outcomes: List[PlanningOutcome] = []
+        # Guards outcome recording and the aggregate stats readers; RLock so
+        # a hook that reads stats from inside _record does not deadlock.
+        self._stats_lock = threading.RLock()
 
     # ----------------------------------------------------------------- protocol
     @abstractmethod
@@ -321,9 +345,17 @@ class Planner(PlannerStats, ABC):
         """Plan one query and return its outcome."""
 
     def submit_batch(
-        self, queries: Sequence[Union[Query, QueryWorkloadItem]]
+        self,
+        queries: Sequence[Union[Query, QueryWorkloadItem]],
+        time_limit: Optional[float] = None,
     ) -> List[PlanningOutcome]:
-        """Plan a group of queries; by default one at a time, in order."""
+        """Plan a group of queries; by default one at a time, in order.
+
+        ``time_limit`` is an advisory solver budget for the whole batch.
+        Planners that build one joint model per batch (SQPR, federated
+        shards) honour it; the default per-query loop ignores it — each
+        submission keeps its configured per-query budget.
+        """
         return [self.submit(query) for query in queries]
 
     @property
@@ -388,7 +420,8 @@ class Planner(PlannerStats, ABC):
         which is discarded (not cleared in place): callers sharing that
         object must re-inject it after a reset.
         """
-        self.outcomes.clear()
+        with self._stats_guard():
+            self.outcomes.clear()
         if self.allocation is not None:
             self.allocation = Allocation(self.catalog)
 
@@ -411,7 +444,8 @@ class Planner(PlannerStats, ABC):
     # ------------------------------------------------------------------ helpers
     def _record(self, outcome: PlanningOutcome) -> PlanningOutcome:
         """Append ``outcome`` to the history and fire admit/reject hooks."""
-        self.outcomes.append(outcome)
+        with self._stats_guard():
+            self.outcomes.append(outcome)
         callbacks = self.hooks.on_admit if outcome.admitted else self.hooks.on_reject
         for callback in callbacks:
             callback(outcome)

@@ -33,6 +33,7 @@ Two planning modes are supported:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -474,6 +475,14 @@ class ModelReuseCache:
     longer re-hashes the whole system state.  A hit therefore means the
     model would be rebuilt identically (up to the astronomically unlikely
     64-bit digest collision); reuse never changes planning results.
+
+    The cache is safe to share across threads (the federated planner's
+    concurrent shard mode, a planner behind the admission service): every
+    LRU/counter mutation happens under one lock.  Model *construction* on a
+    miss deliberately runs outside the lock, so a slow build never blocks
+    concurrent lookups; two threads racing on the same key both build and
+    the later insert wins, which only costs duplicate work, never
+    correctness (the models are identical by keying).
     """
 
     def __init__(self, max_entries: int = 8) -> None:
@@ -481,12 +490,14 @@ class ModelReuseCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Tuple, SqprModel]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def clear(self) -> None:
         """Drop all cached models and counters (e.g. on planner reset)."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def get_or_build(
         self,
@@ -514,11 +525,12 @@ class ModelReuseCache:
             catalog_fingerprint(catalog, scope),
             allocation_fingerprint(allocation),
         )
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached, True
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached, True
         built = build_model(
             catalog,
             allocation,
@@ -529,8 +541,9 @@ class ModelReuseCache:
             max_relay_hops=max_relay_hops,
             force_admission=force_admission,
         )
-        self._entries[key] = built
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        self.misses += 1
+        with self._lock:
+            self._entries[key] = built
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            self.misses += 1
         return built, False

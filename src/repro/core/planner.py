@@ -220,6 +220,43 @@ class SQPRPlanner(Planner):
                 )
         return decoded.admitted_new_queries
 
+    def _relocation_candidates(self, queries: List[Query]) -> List[Query]:
+        """Drop queries that no stage-B relocation could possibly admit.
+
+        Re-planning may move operators but can neither evict admitted
+        queries (constraint IV.9) nor shrink their demand — operator CPU
+        costs are placement-independent — so admitting a new query needs
+        at least its cheapest not-yet-placed candidate operator to fit
+        inside the cluster's *aggregate* free CPU, no matter how the
+        existing placement is repacked.  When that necessary condition
+        fails, the forced-admission model is infeasible by construction;
+        skipping it avoids paying the solver's infeasibility proof, which
+        otherwise dominates planning time on a saturated system.  The
+        bound is conservative (bandwidth and per-host packing ignored),
+        so a pruned query is one stage B could never have admitted and
+        observable decisions are unchanged.
+        """
+        if not queries:
+            return queries
+        free = sum(
+            self.catalog.hosts.get(h).cpu_capacity
+            - self.allocation.cpu_used(h)
+            for h in self.catalog.host_ids
+        )
+        viable: List[Query] = []
+        for query in queries:
+            min_new_cost = min(
+                (
+                    self.catalog.get_operator(o).cpu_cost
+                    for o in query.candidate_operators
+                    if not self.allocation.hosts_of_operator(o)
+                ),
+                default=0.0,
+            )
+            if min_new_cost <= free + 1e-9:
+                viable.append(query)
+        return viable
+
     def _plan(
         self, queries: List[Query], time_limit: Optional[float]
     ) -> List[PlanningOutcome]:
@@ -238,21 +275,36 @@ class SQPRPlanner(Planner):
                 time_limit=stage_a_limit,
             )
             admitted_ids = self._apply_if_admitting(built, result)
-            if not admitted_ids:
+            rejected = self._relocation_candidates(
+                [
+                    query
+                    for query in queries
+                    if query.query_id not in admitted_ids
+                ]
+            )
+            if rejected:
                 # Stage B: the full re-planning model with the remaining
-                # budget, run as a forced-admission feasibility search (the
-                # lexicographically dominant λ1 turned into a constraint).
+                # budget, over whatever stage A could not place.  For a
+                # single query this is a forced-admission feasibility
+                # search (the lexicographically dominant λ1 turned into a
+                # constraint); for a batch remainder the joint model keeps
+                # λ1 in the objective and relocates existing placements to
+                # admit as many of the leftovers as it can — so a batch
+                # member rejected by the frozen greedy stage still gets the
+                # same relocation chance a one-at-a-time submission would.
                 remaining = None if time_limit is None else max(
                     0.05, time_limit - watch.elapsed()
                 )
                 scope, built, result, reused = self._solve_stage(
-                    queries,
+                    rejected,
                     frozen_mode=False,
                     replan_overlapping=True,
                     time_limit=remaining,
                     force_admission=True,
                 )
-                admitted_ids = self._apply_if_admitting(built, result)
+                admitted_ids = admitted_ids | self._apply_if_admitting(
+                    built, result
+                )
         else:
             scope, built, result, reused = self._solve_stage(
                 queries,

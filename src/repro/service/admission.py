@@ -1,0 +1,593 @@
+"""A long-running admission service over a planner.
+
+The service models SQPR's intended deployment: an admission controller
+sitting in the request path of a federated stream-processing system,
+absorbing sustained query-arrival traffic.  Three ideas carry the
+throughput story on top of the existing planners:
+
+**Bounded intake with overload policies.**  Arrivals enter a bounded
+queue.  When it is full the configured :class:`OverloadPolicy` decides:
+``reject`` sheds the arrival immediately (:class:`QueueFullError`),
+``block`` applies backpressure to the caller, ``timeout`` blocks for a
+bounded wait and then sheds (:class:`AdmissionTimeout`).
+
+**Batch coalescing with a sequential-equivalence fallback.**  Queries
+that arrive while a solve is in flight coalesce into one batch — one
+MILP model build + solve per batch (per federated site group) instead
+of one per query.  Joint admission is the throughput lever under load,
+but SQPR's two-stage rescue (the forced-admission stage-B replan) only
+engages for singletons; the ``fallback`` policy compensates:
+``"batch"`` (default) re-plans every member individually when a batch
+admits *nothing* — the situation where sequential submission is known
+to behave differently — while ``"rejected"`` re-plans every rejected
+member for strict per-query equivalence, at sequential cost under
+overload.  Measured on the federated scenarios, ``"batch"`` admits the
+same queries or more than the sequential baseline (the joint model can
+co-place queries that one-at-a-time greedy admission strands).
+
+**Pipelined deploys through the cluster engine.**  Solving and
+deploying overlap: the solver stage snapshots the planner's allocation
+and the touched-entity sets of each batch, and the deploy stage
+delta-validates exactly those entities before handing the snapshot to
+:class:`~repro.dsps.engine.ClusterEngine` — the same
+validate-then-adopt contract the simulation harness uses, now run per
+admission batch while the next batch is already solving.
+
+With ``pipelined=False`` the whole pipeline runs synchronously inside
+:meth:`AdmissionService.submit`, which keeps event-replay deterministic
+for the simulation harness and golden fixtures.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..api.base import Planner, PlanningOutcome
+from ..dsps.allocation import Allocation
+from ..dsps.engine import ClusterEngine
+from ..exceptions import PlanningError
+from ..dsps.query import Query, QueryWorkloadItem
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "AdmissionService",
+    "AdmissionTicket",
+    "AdmissionTimeout",
+    "OverloadPolicy",
+    "QueueFullError",
+    "ServiceClosed",
+    "ServiceConfig",
+]
+
+SubmitItem = Union[Query, QueryWorkloadItem]
+
+#: How callers experience a full arrival queue.
+OverloadPolicy = str  # "reject" | "block" | "timeout"
+
+_OVERLOAD_POLICIES = ("reject", "block", "timeout")
+_FALLBACK_POLICIES = ("batch", "rejected", "none")
+
+
+class QueueFullError(PlanningError):
+    """The arrival queue is full and the overload policy sheds load."""
+
+
+class AdmissionTimeout(PlanningError):
+    """Enqueueing (or waiting for a decision) exceeded its deadline."""
+
+
+class ServiceClosed(PlanningError):
+    """The service has been closed and accepts no further queries."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for :class:`AdmissionService`.
+
+    Attributes
+    ----------
+    max_queue:
+        Bound on the arrival queue; beyond it the ``overload_policy``
+        applies.
+    max_batch:
+        Most queries coalesced into one batch admission.
+    batch_window:
+        How long the batcher waits (seconds) for co-arrivals after the
+        first query of a batch before dispatching it.  Under sustained
+        load the queue is never empty and the window never idles; it
+        only delays the first arrival of a quiet period.
+    overload_policy:
+        ``"reject"`` | ``"block"`` | ``"timeout"`` — see module docs.
+    enqueue_timeout:
+        Bounded wait for the ``"timeout"`` policy.
+    batch_time_limit:
+        Flat solver budget per batch (per federated site group), passed
+        to ``submit_batch``.  ``None`` keeps the planner's default
+        (per-query budget scaled by batch size), which grows unbounded
+        with coalesced batches under load — capping it keeps worst-case
+        decision latency flat.
+    fallback:
+        ``"batch"`` (default), ``"rejected"``, or ``"none"`` — when to
+        re-plan batch members individually, see module docs.
+    pipelined:
+        ``True`` runs batcher / solver / deploy as overlapping threads;
+        ``False`` executes the identical stages synchronously inside
+        ``submit`` (deterministic, used by the simulation harness).
+    """
+
+    max_queue: int = 1024
+    max_batch: int = 32
+    batch_window: float = 0.02
+    overload_policy: OverloadPolicy = "block"
+    enqueue_timeout: float = 1.0
+    batch_time_limit: Optional[float] = None
+    fallback: str = "batch"
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window cannot be negative")
+        if self.overload_policy not in _OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload_policy {self.overload_policy!r}; "
+                f"expected one of {_OVERLOAD_POLICIES}"
+            )
+        if self.fallback not in _FALLBACK_POLICIES:
+            raise ValueError(
+                f"unknown fallback {self.fallback!r}; "
+                f"expected one of {_FALLBACK_POLICIES}"
+            )
+
+
+class AdmissionTicket:
+    """A caller's handle on one in-flight admission.
+
+    Tickets resolve with the query's :class:`PlanningOutcome` once the
+    decision is made *and* its batch has deployed; ``result()`` blocks
+    until then.  Stage timestamps (relative to enqueue) expose where the
+    latency went.
+    """
+
+    def __init__(self, item: SubmitItem) -> None:
+        self.item = item
+        self.enqueued_at = time.perf_counter()
+        self.decided_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._event = threading.Event()
+        self._outcome: Optional[PlanningOutcome] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------- completion
+    def _resolve(self, outcome: PlanningOutcome) -> None:
+        self._outcome = outcome
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    # ---------------------------------------------------------------- reading
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PlanningOutcome:
+        if not self._event.wait(timeout):
+            raise AdmissionTimeout(
+                "admission decision not available within the timeout"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds from enqueue to the start of the batch's solve."""
+        if self.decided_at is None:
+            return None
+        return self.decided_at - self.enqueued_at
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Seconds from enqueue to deployed decision."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.enqueued_at
+
+
+_STOP = object()
+
+
+class AdmissionService:
+    """Batched, pipelined admission over a planner (see module docs).
+
+    Parameters
+    ----------
+    planner:
+        Any :class:`~repro.api.base.Planner`.  For federated planners
+        constructed with ``workers > 1`` the per-site groups of each
+        batch solve on a thread pool, composing shard parallelism with
+        the service's batching.
+    engine:
+        Optional :class:`~repro.dsps.engine.ClusterEngine` built on the
+        same catalog.  When given, every batch's allocation snapshot is
+        delta-validated and adopted by the engine (trusted — the service
+        just validated the touched entities), so the engine's live state
+        tracks admissions exactly as under the simulation harness.
+    """
+
+    def __init__(
+        self,
+        planner: Planner,
+        engine: Optional[ClusterEngine] = None,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if engine is not None and engine.catalog is not planner.catalog:
+            raise PlanningError(
+                "service engine must share the planner's catalog"
+            )
+        self.planner = planner
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._arrivals: "queue.Queue" = queue.Queue(
+            maxsize=self.config.max_queue
+        )
+        # Depth 1 between stages: the solver works on one batch while the
+        # batcher coalesces the next and the deployer validates the last.
+        self._deploys: "queue.Queue" = queue.Queue(maxsize=1)
+        self._closed = threading.Event()
+        self._sync_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stage_error: Optional[BaseException] = None
+        # Tickets accepted but not yet resolved; flush() waits on this, not
+        # on queue emptiness (a batch in a stage's hands is in neither queue).
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+        registry = self.metrics
+        self._m_arrivals = registry.counter("arrivals_total")
+        self._m_shed = registry.counter("shed_total")
+        self._m_admitted = registry.counter("admitted_total")
+        self._m_rejected = registry.counter("rejected_total")
+        self._m_batches = registry.counter("batches_total")
+        self._m_fallbacks = registry.counter("fallback_batches_total")
+        self._m_deploys = registry.counter("deploys_total")
+        self._m_deploy_failures = registry.counter("deploy_failures_total")
+        self._m_queue_depth = registry.gauge("queue_depth")
+        self._m_batch_size = registry.histogram(
+            "batch_size", lowest=1.0, highest=4096.0, growth=2.0
+        )
+        self._m_queue_wait = registry.histogram("queue_wait_seconds")
+        self._m_solve = registry.histogram("solve_seconds")
+        self._m_deploy = registry.histogram("deploy_seconds")
+        self._m_latency = registry.histogram("admission_latency_seconds")
+
+        if self.config.pipelined:
+            solver = threading.Thread(
+                target=self._solver_loop,
+                name="admission-solver",
+                daemon=True,
+            )
+            deployer = threading.Thread(
+                target=self._deploy_loop,
+                name="admission-deployer",
+                daemon=True,
+            )
+            self._threads = [solver, deployer]
+            for thread in self._threads:
+                thread.start()
+
+    # ------------------------------------------------------------------ intake
+    def _enqueue(self, item: SubmitItem) -> AdmissionTicket:
+        if self._closed.is_set():
+            raise ServiceClosed("the admission service is closed")
+        if self._stage_error is not None:
+            raise PlanningError(
+                "the admission pipeline died"
+            ) from self._stage_error
+        ticket = AdmissionTicket(item)
+        self._m_arrivals.inc()
+        policy = self.config.overload_policy
+        try:
+            if policy == "block":
+                self._arrivals.put(ticket)
+            elif policy == "timeout":
+                self._arrivals.put(
+                    ticket, timeout=self.config.enqueue_timeout
+                )
+            else:
+                self._arrivals.put_nowait(ticket)
+        except queue.Full:
+            self._m_shed.inc()
+            error: PlanningError = (
+                AdmissionTimeout(
+                    "arrival queue stayed full past enqueue_timeout"
+                )
+                if policy == "timeout"
+                else QueueFullError("arrival queue is full; load shed")
+            )
+            ticket._fail(error)
+            raise error
+        with self._inflight_cv:
+            self._inflight += 1
+        self._m_queue_depth.set(self._arrivals.qsize())
+        return ticket
+
+    def submit(self, item: SubmitItem) -> AdmissionTicket:
+        """Enqueue one query for admission and return its ticket.
+
+        In synchronous mode (``pipelined=False``) the query is planned
+        and deployed before this returns — one query, one batch — which
+        is what keeps harness replay deterministic.
+        """
+        ticket = self._enqueue(item)
+        if not self.config.pipelined:
+            with self._sync_lock:
+                while not ticket.done():
+                    self._drain_once()
+        return ticket
+
+    def submit_many(
+        self, items: Sequence[SubmitItem]
+    ) -> List[AdmissionTicket]:
+        """Enqueue several queries at once.
+
+        Unlike repeated :meth:`submit`, in synchronous mode the whole
+        group is enqueued *before* draining, so it coalesces into
+        ``max_batch``-sized batches deterministically — the synchronous
+        twin of what the pipeline's batcher does under load.
+        """
+        if not self.config.pipelined:
+            tickets = [self._enqueue(item) for item in items]
+            with self._sync_lock:
+                while any(not t.done() for t in tickets):
+                    self._drain_once()
+            return tickets
+        return [self.submit(item) for item in items]
+
+    def _finish(
+        self,
+        ticket: AdmissionTicket,
+        outcome: Optional[PlanningOutcome] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if error is not None:
+            ticket._fail(error)
+        else:
+            assert outcome is not None
+            ticket._resolve(outcome)
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    # --------------------------------------------------------------- batching
+    def _next_batch(
+        self, block: bool
+    ) -> Optional[List[AdmissionTicket]]:
+        """Coalesce up to ``max_batch`` tickets from the arrival queue."""
+        try:
+            first = self._arrivals.get(
+                block=block, timeout=0.1 if block else None
+            )
+        except queue.Empty:
+            return None
+        if first is _STOP:
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self.config.batch_window
+        while len(batch) < self.config.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    ticket = self._arrivals.get(timeout=remaining)
+                else:
+                    ticket = self._arrivals.get_nowait()
+            except queue.Empty:
+                break
+            if ticket is _STOP:
+                # Preserve the sentinel for the loop's next round.
+                self._arrivals.put(_STOP)
+                break
+            batch.append(ticket)
+        self._m_queue_depth.set(self._arrivals.qsize())
+        return batch
+
+    # ----------------------------------------------------------------- stages
+    def _solve_batch(
+        self, batch: List[AdmissionTicket]
+    ) -> Tuple[
+        List[PlanningOutcome],
+        Allocation,
+        Tuple[set, set, set],
+    ]:
+        """Plan one coalesced batch and snapshot the result for deploy."""
+        started = time.perf_counter()
+        for ticket in batch:
+            ticket.decided_at = started
+            self._m_queue_wait.observe(started - ticket.enqueued_at)
+        outcomes = self.planner.submit_batch(
+            [ticket.item for ticket in batch],
+            time_limit=self.config.batch_time_limit,
+        )
+        fallback = self.config.fallback
+        if fallback != "none" and outcomes:
+            if fallback == "batch":
+                retry = (
+                    outcomes if not any(o.admitted for o in outcomes) else []
+                )
+            else:  # "rejected"
+                retry = [o for o in outcomes if not o.admitted]
+            if retry:
+                self._m_fallbacks.inc()
+                rescued = {
+                    id(o): self.planner.submit(o.query) for o in retry
+                }
+                outcomes = [rescued.get(id(o), o) for o in outcomes]
+        self._m_batches.inc()
+        self._m_batch_size.observe(float(len(batch)))
+        self._m_solve.observe(time.perf_counter() - started)
+        for outcome in outcomes:
+            if outcome.admitted:
+                self._m_admitted.inc()
+            else:
+                self._m_rejected.inc()
+        allocation = self.planner.allocation
+        if self.engine is not None and allocation is not None:
+            # Drain exactly what this batch touched for the deploy stage's
+            # delta-validation.  Without an engine the pending touched sets
+            # are left alone — an outer owner (the simulation harness) may
+            # be tracking them for its own validation.
+            touched = allocation.drain_touched()
+            snapshot: Optional[Allocation] = allocation.copy()
+        else:
+            touched = (set(), set(), set())
+            snapshot = None
+        return outcomes, snapshot, touched
+
+    def _deploy_batch(
+        self,
+        batch: List[AdmissionTicket],
+        outcomes: List[PlanningOutcome],
+        snapshot: Optional[Allocation],
+        touched: Tuple[set, set, set],
+    ) -> None:
+        """Delta-validate the batch's snapshot and adopt it on the engine."""
+        started = time.perf_counter()
+        try:
+            if self.engine is not None and snapshot is not None:
+                hosts, streams, operators = touched
+                violations = snapshot.validate_delta(
+                    hosts, streams, operators
+                )
+                if violations:
+                    self._m_deploy_failures.inc()
+                    raise PlanningError(
+                        "admission batch produced an infeasible "
+                        "allocation: " + "; ".join(violations[:5])
+                    )
+                # Trusted: the delta-validation above covered everything
+                # this batch touched, matching the harness's contract.
+                self.engine.adopt(snapshot, trusted=True)
+                self._m_deploys.inc()
+        except BaseException as error:
+            for ticket in batch:
+                self._finish(ticket, error=error)
+            raise
+        finally:
+            self._m_deploy.observe(time.perf_counter() - started)
+        for ticket, outcome in zip(batch, outcomes):
+            self._finish(ticket, outcome=outcome)
+            latency = ticket.latency
+            if latency is not None:
+                self._m_latency.observe(latency)
+
+    def _drain_once(self) -> None:
+        """Synchronous path: run every stage for one batch, inline."""
+        batch = self._next_batch(block=False)
+        if not batch:
+            return
+        outcomes, snapshot, touched = self._solve_batch(batch)
+        self._deploy_batch(batch, outcomes, snapshot, touched)
+
+    # ------------------------------------------------------------ stage loops
+    def _solver_loop(self) -> None:
+        try:
+            while True:
+                if self._closed.is_set() and self._arrivals.empty():
+                    break
+                batch = self._next_batch(block=True)
+                if batch is None:
+                    if self._closed.is_set():
+                        break
+                    continue
+                planned = self._solve_batch(batch)
+                self._deploys.put((batch, planned))
+        except BaseException as error:  # pragma: no cover - defensive
+            self._stage_error = error
+            self._fail_pending(error)
+        finally:
+            # A submit racing close() can slip a ticket in behind the stop
+            # sentinel; nothing will plan it, so fail it loudly.
+            self._fail_pending(ServiceClosed("the admission service closed"))
+            self._deploys.put(_STOP)
+
+    def _deploy_loop(self) -> None:
+        try:
+            while True:
+                entry = self._deploys.get()
+                if entry is _STOP:
+                    break
+                batch, (outcomes, snapshot, touched) = entry
+                try:
+                    self._deploy_batch(batch, outcomes, snapshot, touched)
+                except BaseException:
+                    # The batch's tickets already carry the error; the
+                    # pipeline keeps serving subsequent batches.
+                    continue
+        except BaseException as error:  # pragma: no cover - defensive
+            self._stage_error = error
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        while True:
+            try:
+                ticket = self._arrivals.get_nowait()
+            except queue.Empty:
+                break
+            if ticket is not _STOP:
+                self._finish(ticket, error=error)
+
+    # --------------------------------------------------------------- lifecycle
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every accepted query has a deployed decision."""
+        if not self.config.pipelined:
+            with self._sync_lock:
+                while not self._arrivals.empty():
+                    self._drain_once()
+            return
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise AdmissionTimeout("flush timed out")
+                self._inflight_cv.wait(timeout=remaining)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries; optionally drain in-flight work."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self.config.pipelined:
+            self._arrivals.put(_STOP)
+            if wait:
+                for thread in self._threads:
+                    thread.join(timeout=60.0)
+        elif wait:
+            with self._sync_lock:
+                while not self._arrivals.empty():
+                    self._drain_once()
+
+    def __enter__(self) -> "AdmissionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(wait=True)

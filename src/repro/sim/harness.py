@@ -55,7 +55,10 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.admission import AdmissionService
 
 from repro.api.base import Planner
 from repro.core.adaptive import AdaptiveReplanner
@@ -194,6 +197,15 @@ class SimulationHarness:
     drift_threshold:
         Relative drift above which an operator's queries become replan
         victims (forwarded to the auto-built replanner).
+    service:
+        Optional :class:`~repro.service.admission.AdmissionService` built
+        on the same planner.  When given, arrival events *enqueue* into
+        the service instead of calling ``planner.submit`` directly — the
+        schedule replays through the real admission path (queue, batch
+        coalescing, fallback policy).  The service must be synchronous
+        (``pipelined=False``, the single-worker configuration) so replay
+        stays deterministic, and must not own an engine of its own — the
+        harness keeps doing the validating and engine syncing.
     validate_invariants:
         Check the planner's allocation after every event and raise
         :class:`SimulationError` on the first violation.
@@ -220,6 +232,7 @@ class SimulationHarness:
         validate_invariants: bool = True,
         validation_mode: str = "delta",
         record_every: int = 1,
+        service: Optional["AdmissionService"] = None,
     ) -> None:
         self.planner = planner
         self.engine = engine or ClusterEngine(planner.catalog, strict=False)
@@ -227,6 +240,22 @@ class SimulationHarness:
             raise SimulationError(
                 "engine and planner must share one catalog instance"
             )
+        if service is not None:
+            if service.planner is not planner:
+                raise SimulationError(
+                    "the admission service must wrap the harness's planner"
+                )
+            if service.config.pipelined:
+                raise SimulationError(
+                    "schedule replay needs a synchronous service "
+                    "(ServiceConfig(pipelined=False)) to stay deterministic"
+                )
+            if service.engine is not None:
+                raise SimulationError(
+                    "the harness owns engine syncing; build the service "
+                    "without an engine"
+                )
+        self.service = service
         if validation_mode not in ("delta", "full"):
             raise SimulationError(
                 f"validation_mode must be 'delta' or 'full', got {validation_mode!r}"
@@ -322,7 +351,10 @@ class SimulationHarness:
         for position, event in enumerate(schedule):
             if isinstance(event, QueryArrival):
                 counters["arrivals"] += 1
-                outcome = planner.submit(event.item)
+                if self.service is not None:
+                    outcome = self.service.submit(event.item).result()
+                else:
+                    outcome = planner.submit(event.item)
                 index_by_query[outcome.query.query_id] = event.arrival_index
                 if outcome.admitted:
                     counters["admitted"] += 1

@@ -1,0 +1,169 @@
+"""Schedule replay through the admission service stays deterministic.
+
+The harness can route arrival events through an
+:class:`~repro.service.AdmissionService` instead of calling
+``planner.submit`` directly.  Under the single-worker configuration
+(``pipelined=False``) a batch holds exactly one query, so the replay
+must reproduce the direct path bit for bit — same counters, same result
+fingerprint, same golden fixture — while the service's own metrics see
+every arrival.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import PlannerConfig, create_planner
+from repro.dsps.query import DecompositionMode
+from repro.exceptions import SimulationError
+from repro.service import AdmissionService, ServiceConfig
+from repro.sim import SimulationHarness
+from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+GOLDEN_CHURN_FIXTURE = (
+    Path(__file__).parent / "fixtures" / "golden_churn.json"
+)
+
+SCENARIO = SimulationScenarioConfig(
+    num_hosts=3,
+    num_base_streams=8,
+    host_cpu_capacity=5.0,
+    host_bandwidth=150.0,
+    decomposition=DecompositionMode.CANONICAL,
+    seed=3,
+)
+
+TRACE = ChurnTraceConfig(
+    duration=90.0,
+    arrival_rate=0.5,
+    arities=(2,),
+    min_lifetime=8.0,
+    num_host_failures=1,
+    recovery_delay=20.0,
+    drift_period=15.0,
+    drift_factor=2.0,
+    replan_period=25.0,
+    seed=424,
+)
+
+
+def run_replay(planner_name: str, through_service: bool):
+    scenario = build_simulation_scenario(SCENARIO)
+    schedule = build_churn_schedule(scenario, TRACE)
+    planner = create_planner(
+        planner_name,
+        scenario.build_catalog(),
+        config=PlannerConfig(time_limit=None),
+    )
+    service = None
+    if through_service:
+        service = AdmissionService(
+            planner, config=ServiceConfig(pipelined=False)
+        )
+    harness = SimulationHarness(planner, service=service)
+    result = harness.run(schedule)
+    return result, service
+
+
+class TestServiceReplayDeterminism:
+    @pytest.mark.parametrize("planner_name", ["sqpr", "heuristic"])
+    def test_replay_matches_direct_submission(self, planner_name):
+        direct, _ = run_replay(planner_name, through_service=False)
+        routed, service = run_replay(planner_name, through_service=True)
+        assert routed.counters == direct.counters
+        assert routed.fingerprint() == direct.fingerprint()
+        # Every arrival actually travelled through the service.
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["arrivals_total"] >= direct.counters["arrivals"]
+        assert counters["batches_total"] == counters["arrivals_total"]
+
+    def test_replay_is_repeatable(self):
+        first, _ = run_replay("sqpr", through_service=True)
+        second, _ = run_replay("sqpr", through_service=True)
+        assert first.fingerprint() == second.fingerprint()
+
+    @pytest.mark.slow
+    def test_golden_churn_fixture_reproduced_through_service(self):
+        """The committed golden fixture holds when arrivals go through
+        the service — the single-worker service path is invisible to the
+        simulation's observable results."""
+        golden_scenario = SimulationScenarioConfig(
+            num_hosts=3,
+            num_base_streams=8,
+            host_cpu_capacity=5.0,
+            host_bandwidth=150.0,
+            decomposition=DecompositionMode.CANONICAL,
+            seed=3,
+        )
+        golden_trace = ChurnTraceConfig(
+            duration=185.0,
+            arrival_rate=0.55,
+            arities=(2,),
+            min_lifetime=8.0,
+            num_host_failures=2,
+            recovery_delay=25.0,
+            drift_period=12.0,
+            drift_factor=2.2,
+            replan_period=18.0,
+            seed=2011,
+        )
+        expected = json.loads(
+            GOLDEN_CHURN_FIXTURE.read_text(encoding="utf-8")
+        )["sqpr"]
+        scenario = build_simulation_scenario(golden_scenario)
+        schedule = build_churn_schedule(scenario, golden_trace)
+        planner = create_planner(
+            "sqpr",
+            scenario.build_catalog(),
+            config=PlannerConfig(time_limit=None),
+        )
+        service = AdmissionService(
+            planner, config=ServiceConfig(pipelined=False)
+        )
+        result = SimulationHarness(planner, service=service).run(schedule)
+        assert {
+            "counters": dict(sorted(result.counters.items())),
+            "final_active": result.final_active,
+        } == expected
+
+
+class TestServiceReplayValidation:
+    def test_rejects_pipelined_service(self):
+        scenario = build_simulation_scenario(SCENARIO)
+        planner = create_planner("sqpr", scenario.build_catalog())
+        service = AdmissionService(
+            planner, config=ServiceConfig(pipelined=True)
+        )
+        with pytest.raises(SimulationError):
+            SimulationHarness(planner, service=service)
+        service.close()
+
+    def test_rejects_foreign_planner(self):
+        scenario = build_simulation_scenario(SCENARIO)
+        planner = create_planner("sqpr", scenario.build_catalog())
+        other = create_planner("sqpr", scenario.build_catalog())
+        service = AdmissionService(
+            other, config=ServiceConfig(pipelined=False)
+        )
+        with pytest.raises(SimulationError):
+            SimulationHarness(planner, service=service)
+
+    def test_rejects_service_owned_engine(self):
+        from repro.dsps.engine import ClusterEngine
+
+        scenario = build_simulation_scenario(SCENARIO)
+        planner = create_planner("sqpr", scenario.build_catalog())
+        service = AdmissionService(
+            planner,
+            engine=ClusterEngine(planner.catalog),
+            config=ServiceConfig(pipelined=False),
+        )
+        with pytest.raises(SimulationError):
+            SimulationHarness(planner, service=service)

@@ -1,0 +1,187 @@
+"""Thread-safety regressions for shared planner infrastructure.
+
+The admission service's parallel shard mode shares a planner's
+:class:`~repro.core.model_builder.ModelReuseCache` and
+:class:`~repro.api.base.PlannerStats` across pool threads.  These tests
+hammer both from pools and pin the invariants that used to be racy:
+counter totals, LRU bounds, and outcome-list integrity.  A final parity
+test pins the federated planner's contract that ``workers`` changes
+wall-clock only, never results.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import PlannerConfig, PlanningOutcome, create_planner
+from repro.core.model_builder import ModelReuseCache
+from repro.core.planner import SQPRPlanner
+from repro.core.reduction import compute_scope
+from repro.core.weights import ObjectiveWeights
+from repro.experiments.federated import federated_scenario, site_local_workload
+
+from tests.conftest import make_catalog, query_over
+
+
+class TestModelReuseCacheUnderPool:
+    def _planning_inputs(self, num_queries: int = 6):
+        """Real catalog/allocation/scope tuples for distinct cache keys."""
+        catalog = make_catalog(num_hosts=3, num_base=6)
+        planner = SQPRPlanner(catalog, PlannerConfig())
+        weights = ObjectiveWeights.paper_default(catalog)
+        base = [f"b{i}" for i in range(6)]
+        inputs = []
+        for k in range(num_queries):
+            query = catalog.register_query(
+                query_over(base[k % 6], base[(k + 1) % 6])
+            )
+            scope = compute_scope(catalog, planner.allocation, [query])
+            inputs.append((catalog, planner.allocation, scope))
+        return inputs, weights
+
+    def test_pool_hammer_counters_and_bound(self):
+        inputs, weights = self._planning_inputs()
+        cache = ModelReuseCache(max_entries=3)  # force eviction races
+        rounds_per_thread = 40
+        num_threads = 8
+
+        def hammer(worker: int) -> int:
+            local_hits = 0
+            for round_index in range(rounds_per_thread):
+                catalog, allocation, scope = inputs[
+                    (worker + round_index) % len(inputs)
+                ]
+                model, reused = cache.get_or_build(
+                    catalog, allocation, scope, weights
+                )
+                assert model is not None
+                local_hits += int(reused)
+            return local_hits
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            hit_counts = list(pool.map(hammer, range(num_threads)))
+
+        total_calls = rounds_per_thread * num_threads
+        # Every call is either a hit or a miss — no lost updates.
+        assert cache.hits + cache.misses == total_calls
+        assert cache.hits == sum(hit_counts)
+        # Eviction kept the LRU bounded despite concurrent inserts.
+        assert len(cache._entries) <= cache.max_entries
+        # With 6 keys cycling through 3 slots there were real evictions.
+        assert cache.misses > len(inputs)
+
+    def test_clear_races_with_lookups(self):
+        inputs, weights = self._planning_inputs(num_queries=3)
+        cache = ModelReuseCache(max_entries=4)
+        stop = threading.Event()
+
+        def churn() -> None:
+            index = 0
+            while not stop.is_set():
+                catalog, allocation, scope = inputs[index % len(inputs)]
+                cache.get_or_build(catalog, allocation, scope, weights)
+                index += 1
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(50):
+            cache.clear()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert len(cache._entries) <= cache.max_entries
+
+
+class TestPlannerStatsUnderPool:
+    def test_concurrent_record_keeps_every_outcome(self):
+        catalog = make_catalog()
+        planner = create_planner("heuristic", catalog)
+        per_thread = 200
+        num_threads = 8
+        query = catalog.register_query(query_over("b0", "b1"))
+
+        def record(worker: int) -> None:
+            for index in range(per_thread):
+                planner._record(
+                    PlanningOutcome(
+                        query=query,
+                        admitted=(index % 2 == 0),
+                        planning_time=0.001,
+                    )
+                )
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            list(pool.map(record, range(num_threads)))
+
+        total = per_thread * num_threads
+        assert planner.num_submitted == total
+        # No appends were lost: every other recorded outcome was an admit.
+        assert sum(1 for o in planner.outcomes if o.admitted) == total // 2
+        assert planner.admission_rate() == pytest.approx(0.5)
+        assert planner.average_planning_time() == pytest.approx(0.001)
+
+    def test_stats_read_while_recording(self):
+        catalog = make_catalog()
+        planner = create_planner("heuristic", catalog)
+        query = catalog.register_query(query_over("b0", "b1"))
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    rate = planner.admission_rate()
+                    assert 0.0 <= rate <= 1.0
+                    planner.average_planning_time()
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for index in range(2000):
+            planner._record(
+                PlanningOutcome(query=query, admitted=True, planning_time=0.0)
+            )
+        stop.set()
+        thread.join()
+        assert not errors
+        assert planner.num_submitted == 2000
+
+
+class TestFederatedWorkersParity:
+    @pytest.mark.parametrize("inner", ["sqpr", "heuristic"])
+    def test_parallel_batches_match_serial(self, inner):
+        scenario = federated_scenario(3, seed=11)
+        workload = site_local_workload(scenario, queries_per_site=4)
+        config = PlannerConfig(time_limit=2.0)
+
+        def run(workers):
+            catalog = scenario.build_catalog()
+            planner = create_planner(
+                f"federated:{inner}", catalog, config=config, workers=workers
+            )
+            outcomes = []
+            for start in range(0, len(workload), 6):
+                outcomes.extend(
+                    planner.submit_batch(workload[start : start + 6])
+                )
+            return (
+                [outcome.admitted for outcome in outcomes],
+                planner.allocation.fingerprint(),
+            )
+
+        serial_decisions, serial_fp = run(workers=1)
+        parallel_decisions, parallel_fp = run(workers=4)
+        assert parallel_decisions == serial_decisions
+        assert parallel_fp == serial_fp
+
+    def test_workers_validation(self):
+        scenario = federated_scenario(2, seed=3)
+        catalog = scenario.build_catalog()
+        with pytest.raises(Exception):
+            create_planner("federated:sqpr", catalog, workers=0)
