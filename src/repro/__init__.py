@@ -14,6 +14,9 @@ The package is organised as:
   Algorithm 1, adaptive re-planning, optimistic bound),
 * :mod:`repro.baselines` — the heuristic planner and a SODA-like planner,
 * :mod:`repro.workloads` — workload generation and evaluation scenarios,
+* :mod:`repro.scenarios` — the declarative scenario matrix: composable
+  :class:`ScenarioSpec` overrides, named operating regimes and scales,
+  and the per-cell artifact bundles of the sweep runner,
 * :mod:`repro.service` — a long-running admission service over a planner:
   bounded intake with overload policies, batch coalescing, pipelined
   deploys through the cluster engine, and a metrics registry,
@@ -87,6 +90,17 @@ from repro.sim import (
     SiteRecovery,
     WanDrift,
 )
+from repro.scenarios import (
+    BASELINE_SCENARIO,
+    CellArtifact,
+    MATRIX_REGIMES,
+    MATRIX_SCALES,
+    MatrixScale,
+    ResolvedScenario,
+    SCENARIO_MATRIX,
+    ScenarioSpec,
+    parse_spec,
+)
 from repro.experiments.runner import AdmissionCurve, run_admission_experiment
 from repro.service import (
     AdmissionService,
@@ -98,7 +112,7 @@ from repro.service import (
     ServiceConfig,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # unified planner API
@@ -157,6 +171,16 @@ __all__ = [
     "SitePartition",
     "SiteRecovery",
     "WanDrift",
+    # scenario matrix
+    "BASELINE_SCENARIO",
+    "CellArtifact",
+    "MATRIX_REGIMES",
+    "MATRIX_SCALES",
+    "MatrixScale",
+    "ResolvedScenario",
+    "SCENARIO_MATRIX",
+    "ScenarioSpec",
+    "parse_spec",
     # admission service
     "AdmissionService",
     "AdmissionTicket",

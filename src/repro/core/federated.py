@@ -40,13 +40,13 @@ the registry's parameterised names: ``create_planner("federated:sqpr", …)``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api.base import Planner, PlannerConfig, PlanningOutcome
 from repro.api.registry import get_planner_class, register_planner, resolve_planner_name
 from repro.dsps.allocation import Allocation
+from repro.utils.pool import map_in_pool
 from repro.dsps.catalog import GatewayCatalogView, SiteCatalogView, SystemCatalog
 from repro.dsps.query import Query, QueryWorkloadItem
 from repro.exceptions import PlanningError
@@ -395,20 +395,12 @@ class FederatedPlanner(Planner):
             )
             return site, group_outcomes, changed
 
-        pool_width = min(self.workers or 1, len(site_groups))
-        if pool_width > 1:
-            with ThreadPoolExecutor(
-                max_workers=pool_width, thread_name_prefix="federated-shard"
-            ) as pool:
-                futures = [
-                    pool.submit(plan_site, site, group)
-                    for site, group in site_groups.items()
-                ]
-                planned = [future.result() for future in futures]
-        else:
-            planned = [
-                plan_site(site, group) for site, group in site_groups.items()
-            ]
+        planned = map_in_pool(
+            lambda entry: plan_site(*entry),
+            list(site_groups.items()),
+            workers=self.workers,
+            thread_name_prefix="federated-shard",
+        )
         for site, group_outcomes, changed in planned:
             mutated = mutated or changed
             for outcome in group_outcomes:

@@ -27,12 +27,28 @@ _TIMELINE_EXPORTS = frozenset(
     }
 )
 
+#: Names resolved lazily from :mod:`repro.experiments.matrix`, for the
+#: same runpy double-execution reason.
+_MATRIX_EXPORTS = frozenset(
+    {
+        "DEFAULT_PLANNERS",
+        "MatrixResult",
+        "generate_golden_matrix",
+        "run_matrix",
+        "run_matrix_cell",
+    }
+)
+
 
 def __getattr__(name):
     if name in _TIMELINE_EXPORTS:
         from repro.experiments import timeline
 
         return getattr(timeline, name)
+    if name in _MATRIX_EXPORTS:
+        from repro.experiments import matrix
+
+        return getattr(matrix, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -47,5 +63,10 @@ __all__ = [
     "run_churn_experiment",
     "run_named_churn_experiment",
     "timeline_figure",
+    "DEFAULT_PLANNERS",
+    "MatrixResult",
+    "generate_golden_matrix",
+    "run_matrix",
+    "run_matrix_cell",
     "figures",
 ]

@@ -1,0 +1,51 @@
+"""Declarative scenario matrix: specs, named regimes and cell artifacts.
+
+The correctness-tooling layer over the churn simulator: a
+:class:`ScenarioSpec` declares *field overrides* over base configs, the
+:data:`SCENARIO_MATRIX` names the operating regimes (composable via
+``+`` expressions such as ``flash_crowd+site_partition``), and
+:class:`CellArtifact` is the per-run bundle — resolved inputs, KPI
+deltas vs. the pinned baseline cell, invariant-check outcomes and the
+determinism fingerprint — the sweep runner in
+:mod:`repro.experiments.matrix` writes for every cell.
+"""
+
+from repro.scenarios.spec import ResolvedScenario, ScenarioSpec, parse_spec
+from repro.scenarios.matrix import (
+    BASELINE_SCENARIO,
+    MATRIX_REGIMES,
+    MATRIX_SCALES,
+    MatrixScale,
+    SCENARIO_MATRIX,
+)
+from repro.scenarios.artifacts import (
+    ARTIFACT_SCHEMA,
+    CellArtifact,
+    attach_baseline,
+    build_cell_artifact,
+    cell_id,
+    diff_golden,
+    golden_json,
+    golden_payload,
+    result_fingerprint,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "BASELINE_SCENARIO",
+    "CellArtifact",
+    "MATRIX_REGIMES",
+    "MATRIX_SCALES",
+    "MatrixScale",
+    "ResolvedScenario",
+    "SCENARIO_MATRIX",
+    "ScenarioSpec",
+    "attach_baseline",
+    "build_cell_artifact",
+    "cell_id",
+    "diff_golden",
+    "golden_json",
+    "golden_payload",
+    "parse_spec",
+    "result_fingerprint",
+]

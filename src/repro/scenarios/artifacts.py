@@ -1,0 +1,218 @@
+"""Per-cell artifact bundles of the scenario-matrix sweep.
+
+Every matrix cell (scenario × planner × scale) produces one
+:class:`CellArtifact`: the *resolved* inputs (full trace/topology configs
+after override resolution, not just the spec), the schedule shape, the
+run's KPIs and their deltas against the pinned baseline cell, every
+invariant-check outcome, and the determinism fingerprint.  Artifacts are
+JSON with sorted keys and **no wall-clock fields**, so regenerating a
+cell from the same seeds produces byte-identical files — the property
+the golden-matrix fixture and its idempotency test pin down.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.sim.harness import SimulationResult
+
+#: Artifact schema version, bumped on any breaking field change.
+ARTIFACT_SCHEMA = 1
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert configs into JSON-stable primitives.
+
+    Enums become their names, tuples become lists, mappings are key-sorted
+    — the stability half of the byte-identical regeneration contract.
+    """
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+def result_fingerprint(result: SimulationResult) -> str:
+    """Hex digest of a run's determinism fingerprint.
+
+    Hashes the repr of :meth:`SimulationResult.fingerprint` — counters and
+    the per-tick trajectory, never wall-clock — so two runs of the same
+    cell agree on it exactly, and any behavioural drift changes it.
+    """
+    return hashlib.sha256(repr(result.fingerprint()).encode()).hexdigest()
+
+
+def cell_id(scenario: str, planner: str, scale: str) -> str:
+    """The canonical ``scenario/planner/scale`` cell identifier."""
+    return f"{scenario}/{planner}/{scale}"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text)
+
+
+@dataclass
+class CellArtifact:
+    """Everything one matrix cell produced, JSON-serialisable."""
+
+    cell_id: str
+    scenario: str
+    planner: str
+    scale: str
+    seed: int
+    spec: Dict[str, Any]
+    inputs: Dict[str, Any]
+    schedule: Dict[str, Any]
+    kpis: Dict[str, float]
+    baseline_cell: Optional[str]
+    kpi_deltas: Dict[str, float] = field(default_factory=dict)
+    invariants: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    service_replay: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell finished with zero invariant violations."""
+        return bool(self.invariants.get("ok", False))
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["schema"] = ARTIFACT_SCHEMA
+        return jsonify(payload)
+
+    def to_json(self) -> str:
+        return (
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def file_name(self) -> str:
+        return (
+            f"{_slug(self.scenario)}__{_slug(self.planner)}"
+            f"__{_slug(self.scale)}.json"
+        )
+
+    def write(self, directory: Path) -> Path:
+        """Write the bundle under ``directory``; returns the file path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.file_name()
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+
+def build_cell_artifact(
+    *,
+    scenario: str,
+    planner: str,
+    scale: str,
+    resolved,
+    schedule,
+    result: SimulationResult,
+    service_replay: bool = False,
+) -> CellArtifact:
+    """Fold one cell's resolved inputs and simulation result into a bundle.
+
+    ``resolved`` is the :class:`~repro.scenarios.spec.ResolvedScenario`
+    the cell ran; baseline linkage (``baseline_cell`` / ``kpi_deltas``) is
+    attached afterwards by the sweep runner, which owns the baseline.
+    """
+    violations_ok = (
+        not result.violation_events and not result.final_violations
+    )
+    return CellArtifact(
+        cell_id=cell_id(scenario, planner, scale),
+        scenario=scenario,
+        planner=planner,
+        scale=scale,
+        seed=result.seed,
+        spec=resolved.spec.to_dict(),
+        inputs={
+            "trace": asdict(resolved.trace),
+            "topology": asdict(resolved.topology),
+        },
+        schedule={
+            "num_events": len(schedule),
+            "num_arrivals": schedule.num_arrivals,
+            "duration": schedule.duration,
+            "counts_by_kind": schedule.counts_by_kind(),
+        },
+        kpis=result.kpis(),
+        baseline_cell=None,
+        invariants={
+            "ok": violations_ok,
+            "violation_events": [dict(v) for v in result.violation_events],
+            "final_violations": list(result.final_violations),
+            "validation": {
+                "mode": result.validation_mode,
+                "calls": result.validate_calls,
+            },
+        },
+        fingerprint=result_fingerprint(result),
+        service_replay=service_replay,
+    )
+
+
+def attach_baseline(
+    artifact: CellArtifact, baseline: CellArtifact
+) -> CellArtifact:
+    """Link ``artifact`` to its pinned baseline cell and compute KPI deltas
+    (``cell KPI − baseline KPI`` for every KPI both cells report)."""
+    artifact.baseline_cell = baseline.cell_id
+    artifact.kpi_deltas = {
+        key: artifact.kpis[key] - baseline.kpis[key]
+        for key in sorted(artifact.kpis)
+        if key in baseline.kpis
+    }
+    return artifact
+
+
+# ------------------------------------------------------------------ golden
+def golden_payload(artifacts: Mapping[str, CellArtifact]) -> Dict[str, Any]:
+    """The golden-matrix fixture body: every cell's fingerprint digest."""
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "cells": {
+            cid: artifact.fingerprint
+            for cid, artifact in sorted(artifacts.items())
+        },
+    }
+
+
+def golden_json(artifacts: Mapping[str, CellArtifact]) -> str:
+    """Serialised golden fixture (stable bytes)."""
+    return (
+        json.dumps(golden_payload(artifacts), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def diff_golden(
+    expected: Mapping[str, Any], artifacts: Mapping[str, CellArtifact]
+) -> List[str]:
+    """Human-readable drift list between a golden fixture and a sweep.
+
+    Reports fingerprint mismatches, cells missing from the sweep and
+    cells the fixture has never seen; empty means no drift.
+    """
+    problems: List[str] = []
+    expected_cells: Mapping[str, str] = expected.get("cells", {})
+    for cid, fingerprint in sorted(expected_cells.items()):
+        artifact = artifacts.get(cid)
+        if artifact is None:
+            problems.append(f"cell {cid} missing from this sweep")
+        elif artifact.fingerprint != fingerprint:
+            problems.append(
+                f"cell {cid} fingerprint drifted: expected "
+                f"{fingerprint[:12]}…, got {artifact.fingerprint[:12]}…"
+            )
+    for cid in sorted(set(artifacts) - set(expected_cells)):
+        problems.append(f"cell {cid} not present in the golden fixture")
+    return problems

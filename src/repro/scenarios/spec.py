@@ -1,0 +1,201 @@
+"""Declarative scenario specifications over the churn-simulation configs.
+
+A :class:`ScenarioSpec` names a set of *field overrides* over a base
+:class:`~repro.workloads.churn.ChurnTraceConfig` (the ``trace`` namespace)
+and a base
+:class:`~repro.workloads.scenarios.SimulationScenarioConfig` (the
+``topology`` namespace).  Specs compose: ``flash_crowd + site_partition``
+is a spec *expression* — a new spec whose overrides are the union of both
+operands' — not a new hand-written config, which is what turns "as many
+scenarios as you can imagine" into an enumerable table.
+
+Resolution semantics (pinned by the property tests in
+``tests/test_scenario_spec.py``):
+
+* overrides are applied depth-first over ``extends`` (left to right),
+  then the spec's own overrides — **last writer wins** on conflicts;
+* composition of specs with *disjoint* override keys is therefore
+  order-independent: ``(a + b).resolve() == (b + a).resolve()``;
+* resolving the **empty** spec is bit-identical to the base config path:
+  no override means ``dataclasses.replace`` with no changes, so the
+  resolved configs — and every schedule generated from them — equal the
+  plain ``ChurnTraceConfig`` route exactly;
+* every resolved config re-runs the target dataclass's ``__post_init__``
+  validation, so an override chain either yields a *valid* config or
+  raises :class:`~repro.exceptions.WorkloadError` at resolution time,
+  never a half-checked config at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.sim.events import EventSchedule
+from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    Scenario,
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+_TRACE_FIELDS = frozenset(f.name for f in fields(ChurnTraceConfig))
+_TOPOLOGY_FIELDS = frozenset(f.name for f in fields(SimulationScenarioConfig))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Named field overrides over the base trace/topology configs.
+
+    ``trace`` overrides fields of :class:`ChurnTraceConfig`, ``topology``
+    fields of :class:`SimulationScenarioConfig`; unknown field names are
+    rejected at construction so a typo fails where the spec is written,
+    not where it is run.  ``extends`` lists parent specs whose overrides
+    apply first (the ``+`` operator builds exactly such a child).
+    """
+
+    name: str
+    description: str = ""
+    trace: Mapping[str, Any] = field(default_factory=dict)
+    topology: Mapping[str, Any] = field(default_factory=dict)
+    extends: Tuple["ScenarioSpec", ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("a scenario spec needs a non-empty name")
+        object.__setattr__(self, "trace", dict(self.trace))
+        object.__setattr__(self, "topology", dict(self.topology))
+        object.__setattr__(self, "extends", tuple(self.extends))
+        unknown = set(self.trace) - _TRACE_FIELDS
+        if unknown:
+            raise WorkloadError(
+                f"spec {self.name!r} overrides unknown ChurnTraceConfig "
+                f"field(s): {sorted(unknown)}"
+            )
+        unknown = set(self.topology) - _TOPOLOGY_FIELDS
+        if unknown:
+            raise WorkloadError(
+                f"spec {self.name!r} overrides unknown "
+                f"SimulationScenarioConfig field(s): {sorted(unknown)}"
+            )
+        for parent in self.extends:
+            if not isinstance(parent, ScenarioSpec):
+                raise WorkloadError(
+                    f"spec {self.name!r} extends a non-spec: {parent!r}"
+                )
+
+    # -------------------------------------------------------------- composition
+    def __add__(self, other: "ScenarioSpec") -> "ScenarioSpec":
+        """Compose two specs: both parents' overrides, left one first."""
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return ScenarioSpec(
+            name=f"{self.name}+{other.name}",
+            description=(
+                f"composition of {self.name!r} and {other.name!r}"
+            ),
+            extends=(self, other),
+        )
+
+    # --------------------------------------------------------------- resolution
+    def flattened_overrides(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """The merged ``(trace, topology)`` override dicts of the whole
+        inheritance chain — parents depth-first left-to-right, own
+        overrides last, later writers replacing earlier ones."""
+        trace: Dict[str, Any] = {}
+        topology: Dict[str, Any] = {}
+        for parent in self.extends:
+            parent_trace, parent_topology = parent.flattened_overrides()
+            trace.update(parent_trace)
+            topology.update(parent_topology)
+        trace.update(self.trace)
+        topology.update(self.topology)
+        return trace, topology
+
+    def resolve(
+        self,
+        base_trace: Optional[ChurnTraceConfig] = None,
+        base_topology: Optional[SimulationScenarioConfig] = None,
+    ) -> "ResolvedScenario":
+        """Apply the override chain to the base configs.
+
+        Defaults resolve over the default-constructed configs.  Both
+        replacements re-run the dataclass validation, so an invalid
+        override combination raises :class:`WorkloadError` here.
+        """
+        base_trace = base_trace or ChurnTraceConfig()
+        base_topology = base_topology or SimulationScenarioConfig()
+        trace_overrides, topology_overrides = self.flattened_overrides()
+        return ResolvedScenario(
+            spec=self,
+            trace=replace(base_trace, **trace_overrides),
+            topology=replace(base_topology, **topology_overrides),
+            trace_overrides=trace_overrides,
+            topology_overrides=topology_overrides,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly description (the artifact's ``spec`` block)."""
+        trace, topology = self.flattened_overrides()
+        return {
+            "name": self.name,
+            "description": self.description,
+            "extends": [parent.name for parent in self.extends],
+            "trace_overrides": dict(sorted(trace.items())),
+            "topology_overrides": dict(sorted(topology.items())),
+        }
+
+
+@dataclass(frozen=True)
+class ResolvedScenario:
+    """A spec applied to concrete base configs: everything a matrix cell
+    needs to build its catalog and schedule."""
+
+    spec: ScenarioSpec
+    trace: ChurnTraceConfig
+    topology: SimulationScenarioConfig
+    trace_overrides: Mapping[str, Any] = field(default_factory=dict)
+    topology_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def build_scenario(self) -> Scenario:
+        """The catalog/workload factory of the resolved topology."""
+        return build_simulation_scenario(self.topology)
+
+    def build_schedule(
+        self, scenario: Optional[Scenario] = None
+    ) -> EventSchedule:
+        """The event schedule of the resolved trace over the topology."""
+        return build_churn_schedule(
+            scenario or self.build_scenario(), self.trace
+        )
+
+
+def parse_spec(
+    expression: str, registry: Mapping[str, ScenarioSpec]
+) -> ScenarioSpec:
+    """Resolve a ``name`` or ``name+name+...`` spec expression.
+
+    Each operand is looked up in ``registry``; composition is the same
+    ``+`` the specs themselves implement (left-to-right, last writer
+    wins).  Unknown names raise :class:`WorkloadError` listing what the
+    registry knows.
+    """
+    parts = [part.strip() for part in expression.split("+")]
+    if not all(parts):
+        raise WorkloadError(
+            f"malformed spec expression {expression!r} (empty operand)"
+        )
+    specs = []
+    for part in parts:
+        try:
+            specs.append(registry[part])
+        except KeyError:
+            known = ", ".join(sorted(registry))
+            raise WorkloadError(
+                f"unknown scenario {part!r}; known scenarios: {known}"
+            ) from None
+    combined = specs[0]
+    for spec in specs[1:]:
+        combined = combined + spec
+    return combined

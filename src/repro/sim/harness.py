@@ -130,6 +130,14 @@ class SimulationResult:
     ticks: List[TickMetrics] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
     final_violations: List[str] = field(default_factory=list)
+    #: Per-event invariant violations, each recorded with the index (its
+    #: 0-based position in the schedule), kind and time of the scheduled
+    #: event that triggered it plus the violation messages — so an artifact
+    #: bundle can say *which* event broke which invariant instead of only
+    #: that the run died.  Populated before the harness raises (default
+    #: ``on_violation="raise"``) or accumulated across the whole run
+    #: (``on_violation="record"``).
+    violation_events: List[Dict[str, Any]] = field(default_factory=list)
     #: How invariants were checked during the run ("delta" or "full"), how
     #: many per-event validations ran, and the wall-clock they consumed.
     #: Excluded from :meth:`fingerprint` — wall-clock is never part of the
@@ -158,6 +166,55 @@ class SimulationResult:
             tuple((t.time, t.active, t.rejected, t.dropped) for t in self.ticks),
         )
 
+    def kpis(self) -> Dict[str, float]:
+        """The run's key performance indicators as one flat numeric dict.
+
+        This is the extraction hook the scenario-matrix artifacts build
+        their baseline deltas from: every value is a plain float derived
+        only from counters and recorded ticks (never wall-clock), so KPIs
+        of two runs of the same schedule are identical and cross-cell
+        deltas are meaningful.
+        """
+        counters = self.counters
+        arrivals = counters.get("arrivals", 0)
+        ticks = self.ticks
+        kpis: Dict[str, float] = {
+            name: float(counters.get(name, 0))
+            for name in (
+                "arrivals",
+                "admitted",
+                "rejected",
+                "departures",
+                "dropped",
+                "evicted",
+                "readmitted",
+                "replan_rounds",
+                "host_failures",
+                "site_partitions",
+                "wan_drift_events",
+            )
+        }
+        kpis["admission_rate"] = (
+            counters.get("admitted", 0) / arrivals if arrivals else 0.0
+        )
+        kpis["final_active"] = float(self.final_active)
+        kpis["peak_active"] = float(max((t.active for t in ticks), default=0))
+        kpis["mean_active"] = (
+            sum(t.active for t in ticks) / len(ticks) if ticks else 0.0
+        )
+        kpis["mean_cpu_utilisation"] = (
+            sum(t.mean_cpu_utilisation for t in ticks) / len(ticks)
+            if ticks
+            else 0.0
+        )
+        kpis["peak_cpu_utilisation"] = float(
+            max((t.max_cpu_utilisation for t in ticks), default=0.0)
+        )
+        kpis["invariant_violations"] = float(
+            len(self.violation_events) + len(self.final_violations)
+        )
+        return kpis
+
     def to_json_dict(self) -> Dict[str, Any]:
         """A JSON-serialisable dump (the CI churn artifact format)."""
         return {
@@ -166,6 +223,7 @@ class SimulationResult:
             "counters": dict(sorted(self.counters.items())),
             "final_active": self.final_active,
             "final_violations": list(self.final_violations),
+            "violation_events": [dict(v) for v in self.violation_events],
             "validation": {
                 "mode": self.validation_mode,
                 "calls": self.validate_calls,
@@ -209,6 +267,13 @@ class SimulationHarness:
     validate_invariants:
         Check the planner's allocation after every event and raise
         :class:`SimulationError` on the first violation.
+    on_violation:
+        ``"raise"`` (default) aborts the run on the first violation, after
+        recording it in ``result.violation_events`` with the triggering
+        event's schedule index, kind and time; ``"record"`` keeps running
+        and accumulates every violation there instead — the mode the
+        scenario-matrix runner uses so one bad cell reports *all* its
+        violations in the artifact bundle rather than dying on the first.
     validation_mode:
         ``"delta"`` (default) validates only what each event touched via
         :meth:`~repro.dsps.allocation.Allocation.validate_delta`;
@@ -231,6 +296,7 @@ class SimulationHarness:
         auto_replanner: bool = True,
         validate_invariants: bool = True,
         validation_mode: str = "delta",
+        on_violation: str = "raise",
         record_every: int = 1,
         service: Optional["AdmissionService"] = None,
     ) -> None:
@@ -260,6 +326,10 @@ class SimulationHarness:
             raise SimulationError(
                 f"validation_mode must be 'delta' or 'full', got {validation_mode!r}"
             )
+        if on_violation not in ("raise", "record"):
+            raise SimulationError(
+                f"on_violation must be 'raise' or 'record', got {on_violation!r}"
+            )
         if replanner is None and auto_replanner and planner.allocation is not None:
             replanner = AdaptiveReplanner(
                 planner, self.engine.monitor, drift_threshold=drift_threshold
@@ -267,6 +337,7 @@ class SimulationHarness:
         self.replanner = replanner
         self.validate_invariants = validate_invariants
         self.validation_mode = validation_mode
+        self.on_violation = on_violation
         self.record_every = max(1, record_every)
         self.validate_calls = 0
         self.validate_seconds = 0.0
@@ -321,7 +392,35 @@ class SimulationHarness:
                     planner.allocation, trusted=self.validate_invariants
                 )
 
-        def handle_eviction_report(report, label: str) -> None:
+        def record_violations(
+            position: int, event: SimEvent, messages: List[str], label: str
+        ) -> None:
+            """Attach ``messages`` to the result as one violation record —
+            keyed by the triggering event's schedule index, kind and time —
+            then raise unless the harness is in ``on_violation="record"``
+            mode.  Recording *before* raising means even an aborted run's
+            result object (when the caller kept a reference) and the
+            exception text both say which scheduled event broke."""
+            if not messages:
+                return
+            result.violation_events.append(
+                {
+                    "event_index": position,
+                    "event_kind": event.kind,
+                    "time": event.time,
+                    "stage": label,
+                    "violations": list(messages),
+                }
+            )
+            if self.on_violation == "raise":
+                raise SimulationError(
+                    f"{label} after event #{position} ({event.kind}) at "
+                    f"t={event.time:g}: " + "; ".join(messages[:3])
+                )
+
+        def handle_eviction_report(
+            position: int, event: SimEvent, report, label: str
+        ) -> None:
             """Shared tail of the eviction-producing events (host failures,
             site partitions, WAN drift): adopt the engine's surviving
             allocation, account the evictions and give every victim one
@@ -343,10 +442,9 @@ class SimulationHarness:
                     index = index_by_query.get(victim)
                     if index is not None:
                         active[index] = victim
-            if report.violations:
-                raise SimulationError(
-                    f"{label} left violations: " + "; ".join(report.violations[:3])
-                )
+            record_violations(
+                position, event, report.violations, f"{label} left violations"
+            )
 
         for position, event in enumerate(schedule):
             if isinstance(event, QueryArrival):
@@ -378,7 +476,9 @@ class SimulationHarness:
                 counters["host_failures"] += 1
                 sync_engine()
                 report = self.engine.fail_host(event.host)
-                handle_eviction_report(report, f"host failure {event.host}")
+                handle_eviction_report(
+                    position, event, report, f"host failure {event.host}"
+                )
 
             elif isinstance(event, HostRecovery):
                 counters["host_recoveries"] += 1
@@ -389,7 +489,9 @@ class SimulationHarness:
                 counters["site_partitions"] += 1
                 sync_engine()
                 report = self.engine.partition_site(event.site)
-                handle_eviction_report(report, f"partition of site {event.site}")
+                handle_eviction_report(
+                    position, event, report, f"partition of site {event.site}"
+                )
 
             elif isinstance(event, SiteRecovery):
                 counters["site_recoveries"] += 1
@@ -401,7 +503,7 @@ class SimulationHarness:
                 sync_engine()
                 report = self.engine.apply_wan_drift(event.factor)
                 handle_eviction_report(
-                    report, f"WAN drift to {event.factor:g}x"
+                    position, event, report, f"WAN drift to {event.factor:g}x"
                 )
 
             elif isinstance(event, LoadDrift):
@@ -441,9 +543,10 @@ class SimulationHarness:
                         extra_hosts.update(catalog.hosts_in_site(dst_site))
             else:
                 extra_hosts = set()
-            prev_allocation = self._check_invariants(
+            prev_allocation, violations = self._check_invariants(
                 event, prev_allocation, extra_hosts
             )
+            record_violations(position, event, violations, "invariant violated")
             if (
                 position % self.record_every == 0
                 or position == len(schedule) - 1
@@ -487,8 +590,10 @@ class SimulationHarness:
         event: SimEvent,
         prev_allocation: Optional[Allocation],
         extra_hosts: Set[int],
-    ) -> Optional[Allocation]:
-        """Validate what ``event`` touched; return the new baseline allocation.
+    ) -> Tuple[Optional[Allocation], List[str]]:
+        """Validate what ``event`` touched; return the new baseline
+        allocation plus any violations found (the caller records them
+        against the event and decides whether to raise or keep running).
 
         With ``validation_mode="delta"`` the touched sets come from the
         allocation's own mutation tracking (in-place events) or from a
@@ -499,12 +604,12 @@ class SimulationHarness:
         """
         allocation = self.planner.allocation
         if allocation is None:
-            return None
+            return None, []
         if not self.validate_invariants:
             # Keep the touched accumulator drained so it cannot grow without
             # bound across a long unvalidated run.
             allocation.drain_touched()
-            return allocation
+            return allocation, []
         start = time.perf_counter()
         if self.validation_mode == "full":
             allocation.drain_touched()
@@ -532,12 +637,7 @@ class SimulationHarness:
                 violations = []
         self.validate_seconds += time.perf_counter() - start
         self.validate_calls += 1
-        if violations:
-            raise SimulationError(
-                f"invariant violated after {event.kind} at t={event.time:g}: "
-                + "; ".join(violations[:3])
-            )
-        return allocation
+        return allocation, violations
 
     def _tick(
         self, event: SimEvent, counters: Dict[str, int], num_active: int

@@ -1,0 +1,42 @@
+"""Shared thread-pool fan-out helper.
+
+:class:`~repro.core.federated.FederatedPlanner` plans its per-site groups
+concurrently and the scenario-matrix sweep runner executes independent
+matrix cells concurrently — both are the same shape: a list of
+independent tasks whose results must come back *in submission order* so
+that concurrency never changes observable output, only wall-clock.
+:func:`map_in_pool` is that shape, factored out so both layers share one
+audited implementation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_in_pool(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    thread_name_prefix: str = "pool",
+) -> List[R]:
+    """Apply ``fn`` to every item, preserving input order in the result.
+
+    ``workers`` bounds the pool width (``None`` or ``1`` runs sequentially
+    in the calling thread — no pool, no thread-switch overhead); the
+    effective width never exceeds ``len(items)``.  Exceptions propagate
+    from the first failing item in submission order, exactly as the
+    sequential path would raise them.
+    """
+    width = min(workers or 1, len(items))
+    if width <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(
+        max_workers=width, thread_name_prefix=thread_name_prefix
+    ) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]

@@ -1,7 +1,11 @@
 """Workload generation, canonical experiment scenarios and churn traces."""
 
 from repro.workloads.zipf import ZipfSampler
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    generate_adversarial_items,
+)
 from repro.workloads.scenarios import (
     ClusterScenarioConfig,
     Scenario,
@@ -20,6 +24,7 @@ __all__ = [
     "ZipfSampler",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "generate_adversarial_items",
     "Scenario",
     "SimulationScenarioConfig",
     "ClusterScenarioConfig",

@@ -20,6 +20,7 @@ example script and the CI quick-run all share.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -38,7 +39,11 @@ from repro.sim.events import (
     WanDrift,
 )
 from repro.utils.rng import ensure_rng, spawn_rng
-from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    WorkloadSpec,
+    generate_adversarial_items,
+)
 from repro.workloads.scenarios import Scenario
 from repro.workloads.zipf import ZipfSampler
 
@@ -97,6 +102,33 @@ class ChurnTraceConfig:
         capacity alternates between ``wan_drift_factor`` × nominal
         (congestion when < 1) and nominal again (``None`` disables WAN
         drift; single-site scenarios generate none).
+    diurnal_period / diurnal_amplitude:
+        Diurnal traffic wave: the arrival rate is modulated by
+        ``1 + amplitude × sin(2π t / period)`` — a smooth day/night cycle
+        instead of the flash crowd's step.  ``None`` period or zero
+        amplitude disables it; the amplitude must stay below 1 so the rate
+        never reaches zero.  Composes multiplicatively with the burst
+        window.
+    universe_limit:
+        Restrict arrivals to the *first* ``universe_limit`` base streams —
+        the hot-key regime where a handful of popular streams receive
+        nearly all queries.  Applies to the flat/global universe only
+        (site-local pools keep their full per-site universes) and must be
+        at least the largest arity.  ``None`` keeps the full universe.
+    adversarial_fraction / adversarial_span:
+        Replace a seeded ``adversarial_fraction`` of arrivals with
+        capacity-fragmenting queries that join one base stream from each
+        of ``adversarial_span`` distinct hosts (see
+        :func:`~repro.workloads.generator.generate_adversarial_items`).
+        The span is clamped to the number of stream-injecting hosts;
+        fraction 0 keeps the trace bit-identical to the plain path.
+    correlated_site_partitions / correlated_partition_frac:
+        Correlated multi-site failure: at ``correlated_partition_frac ×
+        duration`` this many seeded distinct sites are partitioned *at the
+        same instant* (capped at ``num_sites - 1``; single-site scenarios
+        get none), healing together after ``partition_recovery_delay``.
+        Models a shared-cause WAN outage rather than the independent
+        partitions of ``num_site_partitions``.
     seed:
         Root seed of every random stream in the trace.
     """
@@ -122,6 +154,13 @@ class ChurnTraceConfig:
     partition_recovery_delay: Optional[float] = None
     wan_drift_period: Optional[float] = None
     wan_drift_factor: float = 0.5
+    diurnal_period: Optional[float] = None
+    diurnal_amplitude: float = 0.0
+    universe_limit: Optional[int] = None
+    adversarial_fraction: float = 0.0
+    adversarial_span: int = 3
+    correlated_site_partitions: int = 0
+    correlated_partition_frac: float = 0.45
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -141,9 +180,30 @@ class ChurnTraceConfig:
             self.recovery_delay,
             self.wan_drift_period,
             self.partition_recovery_delay,
+            self.diurnal_period,
         ):
             if period is not None and period <= 0:
                 raise WorkloadError("periods/delays must be positive when set")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise WorkloadError("diurnal_amplitude must be within [0, 1)")
+        if self.universe_limit is not None and self.universe_limit < max(
+            self.arities
+        ):
+            raise WorkloadError(
+                "universe_limit must cover at least the largest arity"
+            )
+        if not 0.0 <= self.adversarial_fraction <= 1.0:
+            raise WorkloadError("adversarial_fraction must be within [0, 1]")
+        if self.adversarial_span < 2:
+            raise WorkloadError("adversarial_span must be >= 2")
+        if self.correlated_site_partitions < 0:
+            raise WorkloadError(
+                "correlated_site_partitions must be non-negative"
+            )
+        if not 0.0 < self.correlated_partition_frac < 1.0:
+            raise WorkloadError(
+                "correlated_partition_frac must be within (0, 1)"
+            )
         if not 0.0 <= self.site_locality <= 1.0:
             raise WorkloadError("site_locality must be within [0, 1]")
         if self.num_site_partitions < 0:
@@ -173,13 +233,18 @@ def _generate_items(scenario: Scenario, config: ChurnTraceConfig, root, count: i
         arities=config.arities,
         zipf_exponent=config.zipf_exponent,
     )
+    global_universe = scenario.base_stream_names()
+    if config.universe_limit is not None:
+        # Hot-key regime: all global arrivals hit the first few streams.
+        global_universe = global_universe[: config.universe_limit]
     flat = config.site_locality <= 0.0 or scenario.num_sites <= 1
     if flat:
-        return WorkloadGenerator(
-            scenario.base_stream_names(),
+        items = WorkloadGenerator(
+            global_universe,
             spec,
             random_state=spawn_rng(root, "workload"),
         ).generate()
+        return _apply_adversarial(scenario, config, root, items)
 
     min_universe = max(config.arities)
     site_universe: Dict[int, List[str]] = {
@@ -209,7 +274,7 @@ def _generate_items(scenario: Scenario, config: ChurnTraceConfig, root, count: i
     for universe in universes:
         needed = sum(1 for c in choices if c == universe)
         if universe is None:
-            names = scenario.base_stream_names()
+            names = global_universe
             stream_name = "workload"
         else:
             names = site_universe[universe]
@@ -224,7 +289,39 @@ def _generate_items(scenario: Scenario, config: ChurnTraceConfig, root, count: i
     for universe in choices:
         items.append(pools[universe][cursors[universe]])
         cursors[universe] += 1
-    return items
+    return _apply_adversarial(scenario, config, root, items)
+
+
+def _apply_adversarial(
+    scenario: Scenario, config: ChurnTraceConfig, root, items: List
+) -> List:
+    """Replace a seeded fraction of ``items`` with capacity-fragmenting
+    queries (see :func:`generate_adversarial_items`).
+
+    Substitution happens *after* the normal items are generated, from a
+    child RNG spawned only when the regime is active, so the plain trace —
+    and every other child stream — stays bit-identical at fraction 0.
+    """
+    if config.adversarial_fraction <= 0.0 or not items:
+        return items
+    pools = [names for names in scenario.streams_by_host() if names]
+    span = min(config.adversarial_span, len(pools))
+    if span < 2:
+        return items
+    adversarial_rng = spawn_rng(root, "adversarial")
+    flags = [
+        float(adversarial_rng.random()) < config.adversarial_fraction
+        for _ in items
+    ]
+    replacements = iter(
+        generate_adversarial_items(
+            pools, sum(flags), span, random_state=adversarial_rng
+        )
+    )
+    return [
+        next(replacements) if flag else item
+        for flag, item in zip(flags, items)
+    ]
 
 
 def build_churn_schedule(
@@ -252,9 +349,14 @@ def build_churn_schedule(
     burst_end = config.burst_end_frac * config.duration
 
     def rate_at(time: float) -> float:
+        rate = config.arrival_rate
         if config.burst_factor > 1.0 and burst_start <= time < burst_end:
-            return config.arrival_rate * config.burst_factor
-        return config.arrival_rate
+            rate *= config.burst_factor
+        if config.diurnal_period is not None and config.diurnal_amplitude > 0.0:
+            rate *= 1.0 + config.diurnal_amplitude * math.sin(
+                2.0 * math.pi * time / config.diurnal_period
+            )
+        return rate
 
     arrival_times: List[float] = []
     clock = 0.0
@@ -320,6 +422,24 @@ def build_churn_schedule(
             events.append(SitePartition(time=time, site=site))
             if config.partition_recovery_delay is not None:
                 recovery_time = time + config.partition_recovery_delay
+                if recovery_time < config.duration:
+                    events.append(SiteRecovery(time=recovery_time, site=site))
+    max_correlated = min(
+        config.correlated_site_partitions, max(0, scenario.num_sites - 1)
+    )
+    if max_correlated:
+        correlated_rng = spawn_rng(root, "correlated_partitions")
+        cut_time = config.correlated_partition_frac * config.duration
+        correlated_sites = [
+            int(s)
+            for s in correlated_rng.choice(
+                scenario.num_sites, size=max_correlated, replace=False
+            )
+        ]
+        for site in correlated_sites:
+            events.append(SitePartition(time=cut_time, site=site))
+            if config.partition_recovery_delay is not None:
+                recovery_time = cut_time + config.partition_recovery_delay
                 if recovery_time < config.duration:
                     events.append(SiteRecovery(time=recovery_time, site=site))
     if config.wan_drift_period is not None and scenario.num_sites > 1:

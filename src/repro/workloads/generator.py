@@ -83,3 +83,43 @@ class WorkloadGenerator:
             raise WorkloadError("batch_size must be positive")
         items = self.generate()
         return [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
+
+
+def generate_adversarial_items(
+    names_by_host: Sequence[Sequence[str]],
+    count: int,
+    span: int,
+    random_state: RandomLike = None,
+) -> List[QueryWorkloadItem]:
+    """Capacity-fragmenting queries: each join spans ``span`` distinct hosts.
+
+    A Zipf workload concentrates on popular streams, which planners exploit
+    by co-locating overlapping operators.  The adversarial regime does the
+    opposite: every query joins one base stream from each of ``span``
+    *different* hosts, so every join edge is forced onto the network and no
+    single host can absorb a whole query.  A stream of such queries
+    fragments CPU and link capacity into slivers no later query fits into —
+    the worst case for any placement planner's packing.
+
+    ``names_by_host`` lists the base-stream names per host (empty hosts are
+    skipped); both the host subset and the per-host stream choice are
+    seeded draws, so the adversarial trace is as reproducible as the
+    Zipfian one.
+    """
+    pools = [list(names) for names in names_by_host if names]
+    if span < 2:
+        raise WorkloadError("adversarial queries must span at least 2 hosts")
+    if len(pools) < span:
+        raise WorkloadError(
+            f"adversarial span {span} exceeds the {len(pools)} hosts "
+            "that inject base streams"
+        )
+    rng = ensure_rng(random_state)
+    items: List[QueryWorkloadItem] = []
+    for _ in range(count):
+        hosts = rng.choice(len(pools), size=span, replace=False)
+        names = tuple(
+            pools[int(h)][int(rng.integers(len(pools[int(h)])))] for h in hosts
+        )
+        items.append(QueryWorkloadItem(base_names=names))
+    return items

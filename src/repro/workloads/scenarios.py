@@ -115,6 +115,19 @@ class Scenario:
         rng = ensure_rng(self.seed)
         return [int(h) for h in rng.permutation(self.num_hosts)]
 
+    def streams_by_host(self) -> List[List[str]]:
+        """Base-stream names grouped by injection host (index = host id).
+
+        Recomputes the same seeded shuffle :meth:`build_catalog` uses, so
+        host-aware workloads (e.g. the adversarial capacity-fragmenting
+        generator) can be derived without building a catalog.
+        """
+        host_order = self._stream_host_order()
+        grouped: List[List[str]] = [[] for _ in range(self.num_hosts)]
+        for index, name in enumerate(self.base_stream_names()):
+            grouped[host_order[index % self.num_hosts]].append(name)
+        return grouped
+
     def site_stream_names(self, site: int) -> List[str]:
         """Names of the base streams whose injection host lies in ``site``.
 

@@ -1,0 +1,216 @@
+"""Property-based tests of ScenarioSpec resolution semantics.
+
+Pins the contract :mod:`repro.scenarios.spec` documents:
+
+* any chain of valid field overrides resolves to a *valid*
+  ``ChurnTraceConfig`` / ``SimulationScenarioConfig`` (validation re-runs
+  at resolution, so no half-checked config escapes),
+* last writer wins on conflicting overrides,
+* composition of specs with disjoint override keys is order-independent,
+* the empty spec is bit-identical to the plain base-config path —
+  including the event schedule generated from it,
+* unknown field names and malformed expressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.scenarios.spec import ScenarioSpec, parse_spec
+from repro.workloads.churn import ChurnTraceConfig, build_churn_schedule
+from repro.workloads.scenarios import (
+    SimulationScenarioConfig,
+    build_simulation_scenario,
+)
+
+# Per-field strategies that always satisfy ChurnTraceConfig.__post_init__,
+# so any combination of them must resolve to a valid config.
+_TRACE_FIELD_STRATEGIES = {
+    "duration": st.floats(10.0, 200.0),
+    "arrival_rate": st.floats(0.1, 2.0),
+    "min_lifetime": st.floats(1.0, 20.0),
+    "lifetime_buckets": st.integers(1, 16),
+    "zipf_exponent": st.floats(0.0, 3.0),
+    "burst_factor": st.floats(1.0, 4.0),
+    "site_locality": st.floats(0.0, 1.0),
+    "diurnal_amplitude": st.floats(0.0, 0.95),
+    "adversarial_fraction": st.floats(0.0, 1.0),
+    "adversarial_span": st.integers(2, 5),
+    "seed": st.integers(0, 2**16),
+}
+
+_TOPOLOGY_FIELD_STRATEGIES = {
+    "host_cpu_capacity": st.floats(2.0, 10.0),
+    "host_bandwidth": st.floats(50.0, 500.0),
+    "wan_capacity": st.floats(100.0, 1000.0),
+    "seed": st.integers(0, 2**16),
+}
+
+
+@st.composite
+def trace_overrides(draw, fields=None):
+    chosen = draw(
+        st.lists(
+            st.sampled_from(sorted(fields or _TRACE_FIELD_STRATEGIES)),
+            unique=True,
+            max_size=5,
+        )
+    )
+    return {name: draw(_TRACE_FIELD_STRATEGIES[name]) for name in chosen}
+
+
+@st.composite
+def topology_overrides(draw):
+    chosen = draw(
+        st.lists(
+            st.sampled_from(sorted(_TOPOLOGY_FIELD_STRATEGIES)),
+            unique=True,
+            max_size=3,
+        )
+    )
+    return {name: draw(_TOPOLOGY_FIELD_STRATEGIES[name]) for name in chosen}
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    chain=st.lists(
+        st.tuples(trace_overrides(), topology_overrides()),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_any_override_chain_resolves_to_valid_configs(chain):
+    """Composing any number of valid specs yields valid configs, with the
+    last writer winning on every overridden field."""
+    combined = None
+    for index, (trace, topology) in enumerate(chain):
+        spec = ScenarioSpec(f"s{index}", trace=trace, topology=topology)
+        combined = spec if combined is None else combined + spec
+    resolved = combined.resolve()
+
+    # Construction succeeding IS the validity property (replace() re-runs
+    # __post_init__); check last-writer-wins field by field on top.
+    assert isinstance(resolved.trace, ChurnTraceConfig)
+    assert isinstance(resolved.topology, SimulationScenarioConfig)
+    expected_trace = {}
+    expected_topology = {}
+    for trace, topology in chain:
+        expected_trace.update(trace)
+        expected_topology.update(topology)
+    for name, value in expected_trace.items():
+        assert getattr(resolved.trace, name) == value
+    for name, value in expected_topology.items():
+        assert getattr(resolved.topology, name) == value
+    assert resolved.trace_overrides == expected_trace
+    assert resolved.topology_overrides == expected_topology
+
+
+@settings(deadline=None, max_examples=60)
+@given(data=st.data())
+def test_disjoint_composition_is_order_independent(data):
+    """``(a + b).resolve() == (b + a).resolve()`` whenever a and b touch
+    disjoint fields."""
+    names = sorted(_TRACE_FIELD_STRATEGIES)
+    first = data.draw(
+        st.lists(st.sampled_from(names), unique=True, max_size=4)
+    )
+    rest = [name for name in names if name not in first]
+    a = ScenarioSpec(
+        "a", trace=data.draw(trace_overrides(fields=first or None) if first else st.just({}))
+    )
+    b = ScenarioSpec(
+        "b",
+        trace={
+            name: data.draw(_TRACE_FIELD_STRATEGIES[name])
+            for name in data.draw(
+                st.lists(st.sampled_from(rest), unique=True, max_size=4)
+            )
+        },
+        topology=data.draw(topology_overrides()),
+    )
+    ab = (a + b).resolve()
+    ba = (b + a).resolve()
+    assert ab.trace == ba.trace
+    assert ab.topology == ba.topology
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 2**16))
+def test_empty_spec_is_bit_identical_to_base_path(seed):
+    """Resolving the empty spec reproduces the plain-config route exactly,
+    schedule included."""
+    base_topology = SimulationScenarioConfig(
+        num_hosts=3, num_base_streams=8, seed=3
+    )
+    base_trace = ChurnTraceConfig(
+        duration=30.0, arrival_rate=0.6, arities=(2,), seed=seed
+    )
+    resolved = ScenarioSpec("empty").resolve(base_trace, base_topology)
+    assert resolved.trace == base_trace
+    assert resolved.topology == base_topology
+
+    direct = build_churn_schedule(
+        build_simulation_scenario(base_topology), base_trace
+    )
+    via_spec = resolved.build_schedule()
+    assert via_spec.seed == direct.seed
+    assert via_spec.duration == direct.duration
+    assert via_spec.events == direct.events
+
+
+def test_conflicting_overrides_last_writer_wins():
+    low = ScenarioSpec("low", trace={"arrival_rate": 0.2})
+    high = ScenarioSpec("high", trace={"arrival_rate": 1.4})
+    assert (low + high).resolve().trace.arrival_rate == 1.4
+    assert (high + low).resolve().trace.arrival_rate == 0.2
+
+
+def test_unknown_trace_field_rejected_at_construction():
+    with pytest.raises(WorkloadError, match="unknown ChurnTraceConfig"):
+        ScenarioSpec("typo", trace={"arival_rate": 0.5})
+
+
+def test_unknown_topology_field_rejected_at_construction():
+    with pytest.raises(WorkloadError, match="unknown SimulationScenario"):
+        ScenarioSpec("typo", topology={"num_hoots": 4})
+
+
+def test_invalid_override_combination_fails_at_resolve():
+    spec = ScenarioSpec("bad", trace={"arrival_rate": -1.0})
+    with pytest.raises(WorkloadError, match="arrival_rate"):
+        spec.resolve()
+
+
+def test_spec_needs_a_name_and_spec_parents():
+    with pytest.raises(WorkloadError, match="non-empty name"):
+        ScenarioSpec("")
+    with pytest.raises(WorkloadError, match="non-spec"):
+        ScenarioSpec("child", extends=("not-a-spec",))
+
+
+def test_parse_spec_composes_and_reports_unknown_names():
+    registry = {
+        "a": ScenarioSpec("a", trace={"burst_factor": 2.0}),
+        "b": ScenarioSpec("b", trace={"zipf_exponent": 0.0}),
+    }
+    combined = parse_spec("a+b", registry)
+    assert combined.name == "a+b"
+    trace, _ = combined.flattened_overrides()
+    assert trace == {"burst_factor": 2.0, "zipf_exponent": 0.0}
+
+    with pytest.raises(WorkloadError, match="known scenarios: a, b"):
+        parse_spec("a+nope", registry)
+    with pytest.raises(WorkloadError, match="empty operand"):
+        parse_spec("a++b", registry)
+
+
+def test_to_dict_reports_flattened_overrides():
+    a = ScenarioSpec("a", trace={"burst_factor": 2.0})
+    b = ScenarioSpec("b", topology={"seed": 11})
+    payload = (a + b).to_dict()
+    assert payload["name"] == "a+b"
+    assert payload["extends"] == ["a", "b"]
+    assert payload["trace_overrides"] == {"burst_factor": 2.0}
+    assert payload["topology_overrides"] == {"seed": 11}

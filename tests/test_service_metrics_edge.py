@@ -1,0 +1,215 @@
+"""Edge-case tests for the service metrics instruments.
+
+Quantiles on empty and single-sample histograms, constructor and input
+validation, overflow behaviour, and counter/gauge/registry snapshot
+stability under concurrent writers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------- histogram
+def test_empty_histogram_reports_zeros():
+    hist = LatencyHistogram("empty")
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == 0.0
+    snapshot = hist.snapshot()
+    assert snapshot == {
+        "count": 0,
+        "sum": 0.0,
+        "mean": 0.0,
+        "min": 0.0,
+        "max": 0.0,
+        "p50": 0.0,
+        "p90": 0.0,
+        "p99": 0.0,
+    }
+
+
+def test_single_sample_pins_every_quantile():
+    hist = LatencyHistogram("single")
+    hist.observe(0.042)
+    assert hist.count == 1
+    assert hist.mean == pytest.approx(0.042)
+    # Min/max clipping collapses every quantile onto the lone sample.
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == pytest.approx(0.042)
+    snapshot = hist.snapshot()
+    assert snapshot["min"] == pytest.approx(0.042)
+    assert snapshot["max"] == pytest.approx(0.042)
+    assert snapshot["p99"] == pytest.approx(0.042)
+
+
+def test_quantile_outside_unit_interval_rejected():
+    hist = LatencyHistogram("bounds")
+    for q in (-0.1, 1.1):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(q)
+
+
+def test_constructor_validates_bucket_geometry():
+    for kwargs in (
+        {"lowest": 0.0},
+        {"lowest": -1.0},
+        {"lowest": 2.0, "highest": 1.0},
+        {"growth": 1.0},
+        {"growth": 0.5},
+    ):
+        with pytest.raises(ValueError):
+            LatencyHistogram("bad", **kwargs)
+
+
+def test_negative_observation_clamps_to_zero():
+    hist = LatencyHistogram("clamp")
+    hist.observe(-5.0)
+    assert hist.count == 1
+    assert hist.snapshot()["min"] == 0.0
+    assert hist.quantile(1.0) == 0.0
+
+
+def test_overflow_samples_land_in_the_tail():
+    hist = LatencyHistogram("overflow", lowest=1e-3, highest=1.0)
+    hist.observe(0.01)
+    hist.observe(12345.0)  # beyond the highest bound
+    assert hist.count == 2
+    assert hist.quantile(1.0) == pytest.approx(12345.0)
+    assert hist.snapshot()["max"] == pytest.approx(12345.0)
+
+
+def test_quantiles_are_monotone_and_bounded_by_observations():
+    hist = LatencyHistogram("mono")
+    samples = [0.001 * (i + 1) for i in range(100)]
+    for sample in samples:
+        hist.observe(sample)
+    quantiles = [hist.quantile(q / 20.0) for q in range(21)]
+    assert quantiles == sorted(quantiles)
+    assert quantiles[0] >= min(samples)
+    assert quantiles[-1] <= max(samples)
+
+
+# ------------------------------------------------------------ counter / gauge
+def test_counter_rejects_negative_increments():
+    counter = Counter("mono")
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+    assert counter.value == 0
+
+
+def _hammer(threads, target):
+    workers = [threading.Thread(target=target) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+def test_counter_is_exact_under_concurrent_writers():
+    counter = Counter("contended")
+    per_thread, threads = 2000, 8
+
+    def bump():
+        for _ in range(per_thread):
+            counter.inc()
+
+    _hammer(threads, bump)
+    assert counter.value == per_thread * threads
+
+
+def test_gauge_inc_dec_cancel_under_concurrency():
+    gauge = Gauge("depth")
+    per_thread, threads = 2000, 8
+
+    def wobble():
+        for _ in range(per_thread):
+            gauge.inc()
+            gauge.dec()
+
+    _hammer(threads, wobble)
+    assert gauge.value == pytest.approx(0.0)
+    gauge.set(5.5)
+    assert gauge.value == 5.5
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_returns_the_same_instrument_per_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    # Distinct namespaces: a counter and a gauge may share a name.
+    assert registry.counter("x") is not registry.gauge("x")
+
+
+def test_registry_snapshot_is_consistent_under_concurrent_writers():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    errors = []
+
+    def writer(index):
+        counter = registry.counter(f"c{index}")
+        gauge = registry.gauge(f"g{index}")
+        hist = registry.histogram(f"h{index}")
+        while not stop.is_set():
+            counter.inc()
+            gauge.inc(0.5)
+            hist.observe(0.01)
+
+    def reader():
+        try:
+            last = {}
+            while not stop.is_set():
+                snapshot = registry.snapshot()
+                # Counters never move backwards between snapshots.
+                for name, value in snapshot["counters"].items():
+                    assert value >= last.get(name, 0)
+                    last[name] = value
+                for payload in snapshot["histograms"].values():
+                    assert payload["count"] >= 0
+                    assert payload["min"] <= payload["max"]
+                json.dumps(snapshot)  # always serialisable
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+
+    writers = [
+        threading.Thread(target=writer, args=(i,)) for i in range(4)
+    ]
+    watcher = threading.Thread(target=reader)
+    for thread in writers + [watcher]:
+        thread.start()
+    timer = threading.Timer(0.5, stop.set)
+    timer.start()
+    for thread in writers + [watcher]:
+        thread.join()
+    timer.cancel()
+    assert not errors
+
+    final = registry.snapshot()
+    assert set(final["counters"]) == {f"c{i}" for i in range(4)}
+    for index in range(4):
+        observed = final["histograms"][f"h{index}"]["count"]
+        assert observed == final["counters"][f"c{index}"]
+
+
+def test_registry_to_json_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("admitted").inc(3)
+    registry.gauge("queue").set(2.0)
+    registry.histogram("latency").observe(0.25)
+    payload = json.loads(registry.to_json(indent=2))
+    assert payload["counters"]["admitted"] == 3
+    assert payload["gauges"]["queue"] == 2.0
+    assert payload["histograms"]["latency"]["count"] == 1
