@@ -1,0 +1,243 @@
+"""Benchmark "Figure 13": admission latency under the sub-plan reuse index.
+
+Before this PR the MILP planner's post-solve garbage collection re-ran
+``rebuild_minimal_allocation`` after every admission, which re-extracts
+the deployed plan of *every* resident query — an O(residents) pass whose
+cost grows linearly with how many queries are live, even when the new
+admission shares (or duplicates) an already-deployed sub-plan.  The
+:class:`repro.dsps.subplan.SubPlanIndex` replaces that pass with cached
+replay sequences: only the records whose read keys intersect the
+admission's delta are re-extracted, so a planned admission costs
+~O(query size) regardless of the resident population.
+
+This benchmark pins both halves of that claim.  For each resident count
+it grows two twin planners — index-on and index-off — to ``N`` admitted
+queries drawn Zipf(2.0) from a small pool of *distinct* queries (the
+reuse-heavy regime the paper's admission workload exhibits: most
+arrivals duplicate or overlap a resident plan), then times a cycle of
+*planned* probe admissions (fresh queries, submit + retire, so the
+resident count stays at ``N``) on each planner:
+
+* **identity** — at every size the two planners must agree on every
+  admission decision and end with identical allocation fingerprints
+  (the index is a pure optimisation, bit for bit);
+* **flatness** — the index-on mean planned-admission latency at the
+  largest resident count must stay within ``MAX_LATENCY_GROWTH``× of
+  the smallest one, while the index-off baseline is reported (and in
+  practice grows with ``N``).
+
+The report is written to ``BENCH_reuse.json`` at the repository root
+(format documented in ``docs/benchmarks.md``).  Set ``REUSE_BENCH_QUICK=1``
+for the smaller CI mode and ``REUSE_BENCH_OUT`` to redirect the report.
+No pytest-benchmark plugin needed:
+
+    pytest benchmarks/test_fig13_reuse_index.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import time
+from itertools import combinations
+from pathlib import Path
+
+from repro.core.planner import PlannerConfig, SQPRPlanner
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.cost_model import LinearCostModel
+from repro.dsps.query import DecompositionMode, QueryWorkloadItem
+
+#: Resident counts per measured size; the largest carries the assertions.
+FULL_SIZES = [64, 128, 256, 512]
+QUICK_SIZES = [64, 256]
+
+NUM_HOSTS = 8
+NUM_BASE = 12
+#: Distinct resident queries the Zipf workload cycles over; bounding the
+#: pool is what makes the workload reuse-heavy — residents beyond the
+#: pool size are duplicates sharing an already-deployed sub-plan.
+POOL_SIZE = 12
+ZIPF_EXPONENT = 2.0
+SEED = 1307
+
+FULL_PROBES = 16
+QUICK_PROBES = 8
+
+#: Index-on mean planned-admission latency at the largest resident count
+#: may be at most this multiple of the smallest count's.
+MAX_LATENCY_GROWTH = 2.0
+
+
+def _build_catalog() -> SystemCatalog:
+    catalog = SystemCatalog(
+        cost_model=LinearCostModel(seed=1),
+        decomposition=DecompositionMode.CANONICAL,
+        default_link_capacity=4000.0,
+    )
+    for i in range(NUM_HOSTS):
+        catalog.add_host(
+            cpu_capacity=200.0,
+            bandwidth_capacity=2000.0,
+            name=f"h{i}",
+            site=0,
+        )
+    for i in range(NUM_BASE):
+        catalog.add_base_stream(f"b{i}", 10.0, i % NUM_HOSTS)
+    return catalog
+
+
+def _make_planner(reuse_index: bool) -> SQPRPlanner:
+    config = PlannerConfig(
+        time_limit=1.0, validate_after_apply=False, reuse_index=reuse_index
+    )
+    return SQPRPlanner(_build_catalog(), config=config)
+
+
+def _query_pools():
+    """(resident pool, probe pool): disjoint arity-2 base combinations.
+
+    Probe queries are *not* in the resident pool, so every probe is a
+    planned (non-duplicate) admission — the path that pays extraction.
+    """
+    combos = list(combinations([f"b{i}" for i in range(NUM_BASE)], 2))
+    resident = combos[:POOL_SIZE]
+    probe = combos[POOL_SIZE : POOL_SIZE + 8]
+    return resident, probe
+
+
+def _zipf_sequence(pool, count: int, rng: random.Random):
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=count)
+
+
+def _measure_size(num_residents: int, num_probes: int):
+    resident_pool, probe_pool = _query_pools()
+    arrivals = _zipf_sequence(
+        resident_pool, num_residents, random.Random(SEED + num_residents)
+    )
+
+    planners = {
+        "index_on": _make_planner(reuse_index=True),
+        "index_off": _make_planner(reuse_index=False),
+    }
+    admitted = {name: 0 for name in planners}
+    for names in arrivals:
+        outcomes = {
+            name: planner.submit(QueryWorkloadItem(base_names=names))
+            for name, planner in planners.items()
+        }
+        assert outcomes["index_on"].admitted == outcomes["index_off"].admitted
+        for name, outcome in outcomes.items():
+            admitted[name] += bool(outcome.admitted)
+    assert admitted["index_on"] == admitted["index_off"] == num_residents, (
+        f"pre-admission stalled at {admitted} of {num_residents} residents"
+    )
+
+    latency = {name: [] for name in planners}
+    for probe_index in range(num_probes):
+        names = probe_pool[probe_index % len(probe_pool)]
+        item = QueryWorkloadItem(base_names=names)
+        probe_ids = {}
+        for name, planner in planners.items():
+            start = time.perf_counter()
+            outcome = planner.submit(item)
+            latency[name].append(time.perf_counter() - start)
+            assert outcome.admitted, (
+                f"{name} rejected probe {names} at {num_residents} residents"
+            )
+            probe_ids[name] = outcome.query.query_id
+        # Retire the probe (untimed) so the resident count stays at N and
+        # the next probe is again a planned admission.
+        for name, planner in planners.items():
+            assert planner.retire(probe_ids[name])
+        fingerprints = {
+            name: planner.allocation.fingerprint()
+            for name, planner in planners.items()
+        }
+        assert fingerprints["index_on"] == fingerprints["index_off"], (
+            f"allocations diverged after probe {probe_index} "
+            f"at {num_residents} residents"
+        )
+
+    stats = planners["index_on"].subplan_stats
+    # Median, not mean: an occasional probe whose MILP scope runs into the
+    # solver time limit costs ~1 s on *both* planners and would otherwise
+    # drown the extraction-path cost this benchmark isolates.
+    median_on = statistics.median(latency["index_on"])
+    median_off = statistics.median(latency["index_off"])
+    return {
+        "num_residents": num_residents,
+        "distinct_pool": POOL_SIZE,
+        "num_probes": num_probes,
+        "index_on_ms_per_admission": round(1e3 * median_on, 3),
+        "index_off_ms_per_admission": round(1e3 * median_off, 3),
+        "index_on_mean_ms": round(1e3 * statistics.mean(latency["index_on"]), 3),
+        "index_off_mean_ms": round(1e3 * statistics.mean(latency["index_off"]), 3),
+        "speedup": round(median_off / median_on, 2),
+        "index_stats": {
+            "records": stats["records"],
+            "incremental_collects": stats["incremental_collects"],
+            "incremental_retires": stats["incremental_retires"],
+            "records_reused": stats["records_reused"],
+            "records_reextracted": stats["records_reextracted"],
+            "stale_fallbacks": stats["stale_fallbacks"],
+            "full_rebuilds": stats["full_rebuilds"],
+        },
+    }
+
+
+def test_fig13_reuse_index_report():
+    quick = bool(os.environ.get("REUSE_BENCH_QUICK"))
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    num_probes = QUICK_PROBES if quick else FULL_PROBES
+    out_path = Path(
+        os.environ.get(
+            "REUSE_BENCH_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_reuse.json",
+        )
+    )
+
+    records = []
+    for num_residents in sizes:
+        record = _measure_size(num_residents, num_probes)
+        records.append(record)
+        print(
+            f"fig13 reuse index: residents={num_residents} "
+            f"index_on={record['index_on_ms_per_admission']:.2f} ms/adm "
+            f"index_off={record['index_off_ms_per_admission']:.2f} ms/adm "
+            f"speedup={record['speedup']:.2f}x "
+            f"(stale_fallbacks={record['index_stats']['stale_fallbacks']})"
+        )
+        assert record["index_stats"]["stale_fallbacks"] == 0, (
+            "the reuse index fell back to a full rebuild during the "
+            "benchmark — its incremental path is not covering this workload"
+        )
+
+    growth = (
+        records[-1]["index_on_ms_per_admission"]
+        / records[0]["index_on_ms_per_admission"]
+    )
+    report = {
+        "figure": "fig13_reuse_index",
+        "quick_mode": quick,
+        "planner": "sqpr",
+        "seed": SEED,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "baseline_mode": "index_off",
+        "candidate_mode": "index_on",
+        "max_latency_growth": MAX_LATENCY_GROWTH,
+        "latency_growth": round(growth, 2),
+        "sizes": records,
+        "largest": records[-1],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"fig13 reuse-index report written to {out_path}")
+
+    assert growth <= MAX_LATENCY_GROWTH, (
+        f"index-on admission latency grew {growth:.2f}x from "
+        f"{records[0]['num_residents']} to {records[-1]['num_residents']} "
+        f"residents; expected <= {MAX_LATENCY_GROWTH}x (the index should "
+        f"make admission cost independent of the resident count)"
+    )

@@ -109,6 +109,18 @@ class PlannerConfig:
         child nodes re-start the simplex from their parent's basis.
         Disabling this forces every solve fully cold.  Warm and cold solves
         reach the same optimum; only the time to get there differs.
+    reuse_index:
+        Maintain a persistent sub-plan index
+        (:class:`repro.dsps.subplan.SubPlanIndex`) of every resident
+        query's deployed sub-plan, keyed by the allocation points each plan
+        reads.  Admission-time garbage collection then re-extracts only the
+        plans an admission delta could have changed instead of rebuilding
+        the whole minimal allocation, and retirement removes exactly the
+        structures whose reference count dropped to zero.  The index never
+        changes planning results — the index-off path
+        (:func:`repro.dsps.plan.rebuild_minimal_allocation`) is the
+        cross-check oracle, and both produce identical allocations and
+        fingerprints.  SQPR-planner only; other planners ignore it.
     """
 
     time_limit: Optional[float] = 1.0
@@ -127,6 +139,7 @@ class PlannerConfig:
     record_plans: bool = False
     reuse_model: bool = True
     warm_start: bool = True
+    reuse_index: bool = True
 
 
 #: Defaults for well-known planner-specific extras, so the legacy attribute
@@ -143,6 +156,9 @@ _EXTRA_DEFAULTS: Dict[str, Any] = {
     "marginal_cpu": 0.0,
     "reused_model": False,
     "warm_seeded": False,
+    "reuse_exact": False,
+    "reuse_partial": False,
+    "reuse_overlapping_queries": 0,
 }
 
 

@@ -122,15 +122,29 @@ def build_model(
         protected_streams: Set[int] = set(scope_streams)
         protected_operators: Set[int] = set(scope_operators)
     else:
+        # A scope stream/operator is protected iff some *untouched* admitted
+        # query (outside the replanned and new sets) lists it among its
+        # candidates.  The allocation's query-membership index answers that
+        # per entity: a candidate user set larger than the excluded set
+        # must contain an untouched query (the excluded ids are the only
+        # ones that could be discounted); otherwise the handful of users
+        # is checked directly.  O(|scope| × |excluded|) instead of a loop over
+        # every resident query.
         protected_streams = set()
         protected_operators = set()
-        untouched = (
-            allocation.admitted_queries - set(scope.replanned_queries) - set(scope.new_queries)
-        )
-        for query_id in untouched:
-            admitted = catalog.get_query(query_id)
-            protected_streams |= set(admitted.candidate_streams) & scope.streams
-            protected_operators |= set(admitted.candidate_operators) & scope.operators
+        excluded = set(scope.replanned_queries) | set(scope.new_queries)
+        for stream_id in scope_streams:
+            users = allocation.queries_using_stream(stream_id)
+            if len(users) > len(excluded) or any(
+                qid not in excluded for qid in users
+            ):
+                protected_streams.add(stream_id)
+        for operator_id in scope_operators:
+            users = allocation.queries_using_operator(operator_id)
+            if len(users) > len(excluded) or any(
+                qid not in excluded for qid in users
+            ):
+                protected_operators.add(operator_id)
     teardown_streams = set(scope_streams) - protected_streams
     teardown_operators = set(scope_operators) - protected_operators
 

@@ -33,6 +33,7 @@ from repro.dsps.allocation import Allocation
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.plan import rebuild_minimal_allocation
 from repro.dsps.query import Query, QueryWorkloadItem
+from repro.dsps.subplan import ReuseMatch, SubPlanIndex, resolve_reuse_matches
 from repro.exceptions import PlanningError
 from repro.milp import MilpSolver
 from repro.utils.timer import Stopwatch
@@ -67,12 +68,24 @@ class SQPRPlanner(Planner):
         # Last applied solution, keyed by variable *name* so it survives
         # model rebuilds: names like "y[h,s]" are stable across rounds.
         self._last_values: Dict[str, float] = {}
+        self._subplan_index: Optional[SubPlanIndex] = (
+            SubPlanIndex(catalog) if self.config.reuse_index else None
+        )
+        if self._subplan_index is not None and allocation is None:
+            # A fresh empty allocation is trivially minimal, so the index can
+            # start in sync.  A caller-supplied allocation may carry garbage;
+            # leave the index unsynchronised and let the first admission fall
+            # back to the index-free rebuild (which re-synchronises it).
+            self._subplan_index.rebuild(self.allocation)
 
     def reset(self) -> None:
         """Forget outcomes, allocation, cached models and warm-start state."""
         super().reset()
         self._reuse_cache.clear()
         self._last_values = {}
+        if self._subplan_index is not None:
+            self._subplan_index.invalidate()
+            self._subplan_index.rebuild(self.allocation)
 
     def on_topology_change(self) -> List[int]:
         """Invalidate solver-layer caches after hosts failed or joined.
@@ -85,12 +98,59 @@ class SQPRPlanner(Planner):
         """
         self._reuse_cache.clear()
         self._last_values = {}
+        if self._subplan_index is not None:
+            # Plan extraction reads catalog state (base-injection liveness)
+            # that the index's read keys do not cover, so cached sub-plan
+            # records cannot survive a topology change.
+            self._subplan_index.invalidate()
         return []
 
     @property
     def reuse_stats(self) -> Dict[str, int]:
         """Model-reuse cache counters (hits/misses) for this planner."""
         return {"hits": self._reuse_cache.hits, "misses": self._reuse_cache.misses}
+
+    @property
+    def subplan_stats(self) -> Dict[str, int]:
+        """Sub-plan index maintenance counters (empty when the index is off)."""
+        if self._subplan_index is None:
+            return {}
+        stats = dict(self._subplan_index.stats)
+        stats["records"] = len(self._subplan_index)
+        return stats
+
+    def resolve_reuse(self, queries: Sequence[Query]) -> List[ReuseMatch]:
+        """Resolve exact/partial reuse for already-registered queries.
+
+        Purely informational — admission decisions are made by the MILP as
+        usual.  Expects :class:`Query` objects; workload items must go
+        through ``submit_batch`` (which performs this pass itself and
+        attaches the matches to the outcomes' extras) so they are not
+        registered twice.
+        """
+        return resolve_reuse_matches(self.allocation, list(queries))
+
+    def retire(self, query_id: int) -> bool:
+        """Retire a query, incrementally updating the sub-plan index.
+
+        Falls back to the index-free path (``without_queries`` plus minimal
+        rebuild) whenever the index cannot guarantee an identical result:
+        index disabled, garbage collection off, an id the catalog does not
+        know, or an allocation the index is out of sync with.
+        """
+        index = self._subplan_index
+        if (
+            index is None
+            or not self.config.garbage_collect
+            or not self.catalog.has_query(query_id)
+            or not index.is_fresh(self.allocation)
+        ):
+            return super().retire(query_id)
+        successor = index.retire(self.allocation, query_id)
+        if successor is None:
+            return False
+        self.allocation = successor
+        return True
 
     # -------------------------------------------------------------- submission
     def submit(
@@ -115,6 +175,15 @@ class SQPRPlanner(Planner):
         if not queries:
             return []
         resolved = [self._resolve_query(q) for q in queries]
+
+        # One shared index pass resolves exact/partial reuse for the whole
+        # batch up front (before any admission mutates the allocation);
+        # the matches are attached to the outcomes below so callers (the
+        # admission service's metrics) never need their own resident scan.
+        reuse_matches = {
+            match.query_id: match
+            for match in resolve_reuse_matches(self.allocation, resolved)
+        }
 
         # Algorithm 1, line 3: queries whose result stream is already
         # provided are satisfied without any planning.
@@ -141,6 +210,14 @@ class SQPRPlanner(Planner):
             planned_outcomes = self._plan(to_plan, time_limit)
 
         ordered = self._reorder(resolved, duplicate_outcomes + planned_outcomes)
+        for outcome in ordered:
+            match = reuse_matches.get(outcome.query.query_id)
+            if match is not None:
+                outcome.extras["reuse_exact"] = match.exact
+                outcome.extras["reuse_partial"] = match.partial
+                outcome.extras["reuse_overlapping_queries"] = (
+                    match.overlapping_queries
+                )
         return self._record_many(ordered)
 
     # ---------------------------------------------------------------- planning
@@ -201,6 +278,14 @@ class SQPRPlanner(Planner):
         decoded = decode_solution(self.catalog, self.allocation, built, result)
         if not decoded.admitted_any:
             return frozenset()
+        index = self._subplan_index
+        # Freshness must be judged against the pre-delta allocation: that is
+        # the state the index's records describe.
+        index_ok = (
+            index is not None
+            and self.config.garbage_collect
+            and index.is_fresh(self.allocation)
+        )
         self.allocation.apply(decoded.delta)
         if self.config.warm_start:
             self._last_values = {
@@ -209,8 +294,27 @@ class SQPRPlanner(Planner):
         if self.config.garbage_collect:
             # Timed-out incumbents may contain redundant placements and
             # flows; keep only what admitted queries actually need so wasted
-            # resources do not pile up over time.
-            self.allocation = rebuild_minimal_allocation(self.catalog, self.allocation)
+            # resources do not pile up over time.  With a fresh sub-plan
+            # index the collection is incremental (proportional to the delta
+            # and the affected sub-plans); otherwise fall back to the full
+            # rebuild and re-synchronise the index from its result.
+            if index_ok:
+                forced = {
+                    self.catalog.get_query(query_id).result_stream
+                    for query_id in (
+                        decoded.admitted_new_queries | built.scope.replanned_queries
+                    )
+                }
+                self.allocation = index.collect(
+                    self.allocation, decoded.delta, forced
+                )
+            else:
+                self.allocation = rebuild_minimal_allocation(
+                    self.catalog, self.allocation
+                )
+                if index is not None:
+                    index.note_stale_fallback()
+                    index.rebuild(self.allocation)
         if self.config.validate_after_apply:
             violations = self.allocation.validate()
             if violations:

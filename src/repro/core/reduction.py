@@ -17,11 +17,69 @@ forces to remain provided (possibly by a different host).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Set
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 from repro.dsps.allocation import Allocation
 from repro.dsps.catalog import SystemCatalog
 from repro.dsps.query import Query
+
+
+def _overlap_scored(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    streams: Set[int],
+    new_ids: Set[int],
+) -> List[tuple]:
+    """Score admitted queries overlapping ``streams``, via the
+    stream→queries membership index.
+
+    Cost is proportional to the *overlap* (the admitted queries actually
+    sharing a scope stream), not to the resident-query count.  Produces
+    exactly the ``(composite_shared, shared, query_id)`` tuples of
+    :func:`_overlap_scored_scan`, the index-free oracle.
+    """
+    shared_total: Dict[int, int] = {}
+    shared_composite: Dict[int, int] = {}
+    for stream_id in streams:
+        users = allocation.queries_using_stream(stream_id)
+        if not users:
+            continue
+        composite = catalog.streams.get(stream_id).is_composite
+        for query_id in users:
+            if query_id in new_ids:
+                continue
+            shared_total[query_id] = shared_total.get(query_id, 0) + 1
+            if composite:
+                shared_composite[query_id] = (
+                    shared_composite.get(query_id, 0) + 1
+                )
+    return [
+        (shared_composite.get(query_id, 0), total, query_id)
+        for query_id, total in shared_total.items()
+    ]
+
+
+def _overlap_scored_scan(
+    catalog: SystemCatalog,
+    allocation: Allocation,
+    streams: Set[int],
+    new_ids: Set[int],
+) -> List[tuple]:
+    """Index-free oracle for :func:`_overlap_scored`: scan every admitted
+    query and intersect its candidate streams with the scope."""
+    scored: List[tuple] = []
+    for admitted_id in allocation.admitted_queries:
+        if admitted_id in new_ids or not catalog.has_query(admitted_id):
+            continue
+        admitted = catalog.get_query(admitted_id)
+        shared = set(admitted.candidate_streams) & streams
+        if not shared:
+            continue
+        composite_shared = sum(
+            1 for s in shared if catalog.streams.get(s).is_composite
+        )
+        scored.append((composite_shared, len(shared), admitted_id))
+    return scored
 
 
 @dataclass(frozen=True)
@@ -101,18 +159,7 @@ def compute_scope(
     replanned: Set[int] = set()
     if replan_overlapping and max_replanned_queries > 0:
         new_ids = {query.query_id for query in new_queries}
-        scored: List[tuple] = []
-        for admitted_id in allocation.admitted_queries:
-            if admitted_id in new_ids:
-                continue
-            admitted = catalog.get_query(admitted_id)
-            shared = set(admitted.candidate_streams) & streams
-            if not shared:
-                continue
-            composite_shared = sum(
-                1 for s in shared if catalog.streams.get(s).is_composite
-            )
-            scored.append((composite_shared, len(shared), admitted_id))
+        scored = _overlap_scored(catalog, allocation, streams, new_ids)
         scored.sort(reverse=True)
         replanned = {qid for (_c, _t, qid) in scored[:max_replanned_queries]}
         for admitted_id in replanned:

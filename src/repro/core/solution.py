@@ -51,19 +51,21 @@ def decode_solution(
 
     # Tear down only what the model was actually free to re-decide; structures
     # shared with admitted queries outside the re-planning set (and everything
-    # in frozen mode) are protected and stay in place.
-    for flow in allocation.flows:
-        if flow[2] in built.teardown_streams:
-            delta.remove_flows.add(flow)
-    for avail in allocation.available:
-        if avail[1] in built.teardown_streams:
-            delta.remove_available.add(avail)
-    for placement in allocation.placements:
-        if placement[1] in built.teardown_operators:
-            delta.remove_placements.add(placement)
-    for stream_id in list(allocation.provided):
-        if stream_id in built.teardown_streams:
+    # in frozen mode) are protected and stay in place.  Enumerated through
+    # the allocation's reverse indexes, so teardown costs O(degree of the
+    # scope), not O(allocation size) — the per-admission full-collection
+    # scans were one of the terms that made admission latency grow with the
+    # resident-query count.
+    for stream_id in built.teardown_streams:
+        for src, dst in allocation.flow_edges_of_stream(stream_id):
+            delta.remove_flows.add((src, dst, stream_id))
+        for host in allocation.hosts_with_stream(stream_id):
+            delta.remove_available.add((host, stream_id))
+        if stream_id in allocation.provided:
             delta.unset_provided.add(stream_id)
+    for operator_id in built.teardown_operators:
+        for host in allocation.hosts_of_operator(operator_id):
+            delta.remove_placements.add((host, operator_id))
 
     # Add back what the solver selected.
     for (h, s), var in built.y_vars.items():

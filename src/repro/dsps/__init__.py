@@ -31,6 +31,12 @@ from repro.dsps.allocation import (
 )
 from repro.dsps.resource_monitor import ResourceMonitor, ResourceSample
 from repro.dsps.engine import ClusterEngine, DeploymentReport
+from repro.dsps.subplan import (
+    ReuseMatch,
+    SubPlanIndex,
+    SubPlanRecord,
+    resolve_reuse_matches,
+)
 
 __all__ = [
     "Stream",
@@ -55,4 +61,8 @@ __all__ = [
     "ResourceSample",
     "ClusterEngine",
     "DeploymentReport",
+    "ReuseMatch",
+    "SubPlanIndex",
+    "SubPlanRecord",
+    "resolve_reuse_matches",
 ]

@@ -33,7 +33,15 @@ a minimal allocation).  Every notification incrementally maintains
   bandwidth),
 * a rolling, order-independent allocation fingerprint
   (:meth:`Allocation.fingerprint`, used by the planner's model-reuse
-  cache), and
+  cache),
+* per-stream rolling fingerprints (:meth:`Allocation.stream_fingerprint`)
+  — the same XOR terms bucketed by the stream each structure serves — used
+  by the sub-plan index (:mod:`repro.dsps.subplan`) to tell which cached
+  sub-plans an external allocation change could have invalidated,
+* query-membership indexes (candidate stream → admitted queries, candidate
+  operator → admitted queries, result stream → admitted queries) that make
+  reuse-overlap enumeration at admission time proportional to the overlap,
+  not to the resident-query count, and
 * *touched* host/stream/operator accumulators
   (:meth:`Allocation.drain_touched`) that drive incremental invariant
   checking via :meth:`Allocation.validate_delta`.
@@ -376,11 +384,44 @@ class Allocation:
         self._site_ops: Dict[int, int] = {}
         self._wan_bw: Dict[Tuple[int, int], float] = {}
         self._wan_count: Dict[Tuple[int, int], int] = {}
+        # Query-membership indexes over the admitted set: which admitted
+        # queries list a stream/operator among their candidates, and which
+        # admitted queries request a given result stream.  Maintained by the
+        # admitted hooks (guarded — ids the catalog does not know are simply
+        # not indexed) and consumed by the reuse-matching path.
+        self._queries_by_stream: Dict[int, Set[int]] = {}
+        self._queries_by_operator: Dict[int, Set[int]] = {}
+        self._queries_by_result: Dict[int, Set[int]] = {}
         # Rolling fingerprint + touched accumulators.
         self._fingerprint = 0
+        # XOR of the admitted-query terms alone, so the *structural*
+        # fingerprint (everything except admitted membership) is available
+        # in O(1): structural = _fingerprint ^ _admitted_fp.
+        self._admitted_fp = 0
+        # Per-stream slices of the rolling fingerprint: every structural
+        # term is additionally XOR-ed into the bucket of the stream it
+        # serves (placements bucket under their operator's output stream).
+        # Entry counts guard cleanup, like the aggregate caches above.
+        self._stream_fp: Dict[int, int] = {}
+        self._stream_fp_count: Dict[int, int] = {}
         self._touched_hosts: Set[int] = set()
         self._touched_streams: Set[int] = set()
         self._touched_operators: Set[int] = set()
+
+    def _stream_fp_add(self, stream_id: int, term: int) -> None:
+        self._stream_fp[stream_id] = self._stream_fp.get(stream_id, 0) ^ term
+        self._stream_fp_count[stream_id] = (
+            self._stream_fp_count.get(stream_id, 0) + 1
+        )
+
+    def _stream_fp_remove(self, stream_id: int, term: int) -> None:
+        count = self._stream_fp_count[stream_id] - 1
+        if count:
+            self._stream_fp_count[stream_id] = count
+            self._stream_fp[stream_id] ^= term
+        else:
+            del self._stream_fp_count[stream_id]
+            del self._stream_fp[stream_id]
 
     # ------------------------------------------------------------- index hooks
     def _flow_added(self, key: FlowKey) -> None:
@@ -404,7 +445,9 @@ class Allocation:
             pair = (src_site, dst_site)
             self._wan_bw[pair] = self._wan_bw.get(pair, 0.0) + rate
             self._wan_count[pair] = self._wan_count.get(pair, 0) + 1
-        self._fingerprint ^= hash((_FP_FLOW, src, dst, stream_id))
+        term = hash((_FP_FLOW, src, dst, stream_id))
+        self._fingerprint ^= term
+        self._stream_fp_add(stream_id, term)
         self._touched_hosts.add(src)
         self._touched_hosts.add(dst)
         self._touched_streams.add(stream_id)
@@ -461,7 +504,9 @@ class Allocation:
                 del self._wan_bw[pair]
             else:
                 self._wan_bw[pair] -= rate
-        self._fingerprint ^= hash((_FP_FLOW, src, dst, stream_id))
+        term = hash((_FP_FLOW, src, dst, stream_id))
+        self._fingerprint ^= term
+        self._stream_fp_remove(stream_id, term)
         self._touched_hosts.add(src)
         self._touched_hosts.add(dst)
         self._touched_streams.add(stream_id)
@@ -470,7 +515,9 @@ class Allocation:
         host, stream_id = key
         self._avail_by_stream.setdefault(stream_id, set()).add(host)
         self._avail_by_host.setdefault(host, set()).add(stream_id)
-        self._fingerprint ^= hash((_FP_AVAIL, host, stream_id))
+        term = hash((_FP_AVAIL, host, stream_id))
+        self._fingerprint ^= term
+        self._stream_fp_add(stream_id, term)
         self._touched_hosts.add(host)
         self._touched_streams.add(stream_id)
 
@@ -484,7 +531,9 @@ class Allocation:
         streams.discard(stream_id)
         if not streams:
             del self._avail_by_host[host]
-        self._fingerprint ^= hash((_FP_AVAIL, host, stream_id))
+        term = hash((_FP_AVAIL, host, stream_id))
+        self._fingerprint ^= term
+        self._stream_fp_remove(stream_id, term)
         self._touched_hosts.add(host)
         self._touched_streams.add(stream_id)
 
@@ -497,7 +546,9 @@ class Allocation:
         site = self.catalog.site_of_host(host)
         self._site_cpu[site] = self._site_cpu.get(site, 0.0) + operator.cpu_cost
         self._site_ops[site] = self._site_ops.get(site, 0) + 1
-        self._fingerprint ^= hash((_FP_PLACE, host, operator_id))
+        term = hash((_FP_PLACE, host, operator_id))
+        self._fingerprint ^= term
+        self._stream_fp_add(operator.output_stream, term)
         self._touched_hosts.add(host)
         self._touched_operators.add(operator_id)
         self._touched_streams.add(operator.output_stream)
@@ -524,7 +575,9 @@ class Allocation:
         if not hosts:
             del self._hosts_by_op[operator_id]
         output_stream = self.catalog.get_operator(operator_id).output_stream
-        self._fingerprint ^= hash((_FP_PLACE, host, operator_id))
+        term = hash((_FP_PLACE, host, operator_id))
+        self._fingerprint ^= term
+        self._stream_fp_remove(output_stream, term)
         self._touched_hosts.add(host)
         self._touched_operators.add(operator_id)
         self._touched_streams.add(output_stream)
@@ -534,7 +587,9 @@ class Allocation:
         self._out_bw[host] = self._out_bw.get(host, 0.0) + self.catalog.stream_rate(
             stream_id
         )
-        self._fingerprint ^= hash((_FP_PROVIDED, stream_id, host))
+        term = hash((_FP_PROVIDED, stream_id, host))
+        self._fingerprint ^= term
+        self._stream_fp_add(stream_id, term)
         self._touched_hosts.add(host)
         self._touched_streams.add(stream_id)
 
@@ -547,15 +602,55 @@ class Allocation:
             self._out_bw[host] -= self.catalog.stream_rate(stream_id)
         else:
             del self._out_bw[host]
-        self._fingerprint ^= hash((_FP_PROVIDED, stream_id, host))
+        term = hash((_FP_PROVIDED, stream_id, host))
+        self._fingerprint ^= term
+        self._stream_fp_remove(stream_id, term)
         self._touched_hosts.add(host)
         self._touched_streams.add(stream_id)
 
     def _admitted_added(self, query_id: int) -> None:
-        self._fingerprint ^= hash((_FP_ADMITTED, query_id))
+        term = hash((_FP_ADMITTED, query_id))
+        self._fingerprint ^= term
+        self._admitted_fp ^= term
+        catalog = self.catalog
+        if not catalog.has_query(query_id):
+            # Tests (and defensive callers) may admit ids the catalog does
+            # not know; they simply stay out of the membership indexes.
+            return
+        query = catalog.get_query(query_id)
+        for stream_id in query.candidate_streams:
+            self._queries_by_stream.setdefault(stream_id, set()).add(query_id)
+        for operator_id in query.candidate_operators:
+            self._queries_by_operator.setdefault(operator_id, set()).add(query_id)
+        self._queries_by_result.setdefault(query.result_stream, set()).add(
+            query_id
+        )
 
     def _admitted_removed(self, query_id: int) -> None:
-        self._fingerprint ^= hash((_FP_ADMITTED, query_id))
+        term = hash((_FP_ADMITTED, query_id))
+        self._fingerprint ^= term
+        self._admitted_fp ^= term
+        catalog = self.catalog
+        if not catalog.has_query(query_id):
+            return
+        query = catalog.get_query(query_id)
+        for stream_id in query.candidate_streams:
+            members = self._queries_by_stream.get(stream_id)
+            if members is not None:
+                members.discard(query_id)
+                if not members:
+                    del self._queries_by_stream[stream_id]
+        for operator_id in query.candidate_operators:
+            members = self._queries_by_operator.get(operator_id)
+            if members is not None:
+                members.discard(query_id)
+                if not members:
+                    del self._queries_by_operator[operator_id]
+        members = self._queries_by_result.get(query.result_stream)
+        if members is not None:
+            members.discard(query_id)
+            if not members:
+                del self._queries_by_result[query.result_stream]
 
     # ---------------------------------------------------------------- copying
     def copy(self) -> "Allocation":
@@ -610,6 +705,18 @@ class Allocation:
         clone._site_ops = dict(self._site_ops)
         clone._wan_bw = dict(self._wan_bw)
         clone._wan_count = dict(self._wan_count)
+        clone._queries_by_stream = {
+            s: set(v) for s, v in self._queries_by_stream.items()
+        }
+        clone._queries_by_operator = {
+            o: set(v) for o, v in self._queries_by_operator.items()
+        }
+        clone._queries_by_result = {
+            s: set(v) for s, v in self._queries_by_result.items()
+        }
+        clone._stream_fp = dict(self._stream_fp)
+        clone._stream_fp_count = dict(self._stream_fp_count)
+        clone._admitted_fp = self._admitted_fp
         clone._fingerprint = self._fingerprint
         # Pending touched state is inherited: a copy taken mid-event (the
         # garbage-collection path) must not lose track of what the event
@@ -672,6 +779,55 @@ class Allocation:
     def flows_of_host(self, host: int) -> FrozenSet[FlowKey]:
         """Every flow with ``host`` as source or destination."""
         return frozenset(self._flows_by_host.get(host, ()))
+
+    # ----------------------------------------------- query-membership indexes
+    def queries_using_stream(self, stream_id: int) -> FrozenSet[int]:
+        """Admitted queries with ``stream_id`` among their candidate streams.
+
+        This is the reuse-overlap index: enumerating which resident queries
+        could share work with an arriving query costs O(overlap), not
+        O(resident queries).  Ids the catalog does not know are never
+        indexed (see :meth:`_admitted_added`).
+        """
+        return frozenset(self._queries_by_stream.get(stream_id, ()))
+
+    def queries_using_operator(self, operator_id: int) -> FrozenSet[int]:
+        """Admitted queries with ``operator_id`` among their candidates."""
+        return frozenset(self._queries_by_operator.get(operator_id, ()))
+
+    def queries_for_result(self, stream_id: int) -> FrozenSet[int]:
+        """Admitted queries whose result stream is ``stream_id``."""
+        return frozenset(self._queries_by_result.get(stream_id, ()))
+
+    def queries_using_stream_scan(self, stream_id: int) -> FrozenSet[int]:
+        """Full-scan recomputation of :meth:`queries_using_stream`."""
+        catalog = self.catalog
+        return frozenset(
+            qid
+            for qid in self.admitted_queries
+            if catalog.has_query(qid)
+            and stream_id in catalog.get_query(qid).candidate_streams
+        )
+
+    def queries_using_operator_scan(self, operator_id: int) -> FrozenSet[int]:
+        """Full-scan recomputation of :meth:`queries_using_operator`."""
+        catalog = self.catalog
+        return frozenset(
+            qid
+            for qid in self.admitted_queries
+            if catalog.has_query(qid)
+            and operator_id in catalog.get_query(qid).candidate_operators
+        )
+
+    def queries_for_result_scan(self, stream_id: int) -> FrozenSet[int]:
+        """Full-scan recomputation of :meth:`queries_for_result`."""
+        catalog = self.catalog
+        return frozenset(
+            qid
+            for qid in self.admitted_queries
+            if catalog.has_query(qid)
+            and catalog.get_query(qid).result_stream == stream_id
+        )
 
     # ----------------------------------------------------------- resource usage
     def cpu_used(self, host: int, exclude_operators: Optional[Set[int]] = None) -> float:
@@ -902,6 +1058,58 @@ class Allocation:
             len(self.provided),
             len(self.admitted_queries),
         )
+
+    def structural_fingerprint(self) -> Tuple:
+        """Like :meth:`fingerprint`, but blind to admitted-query membership.
+
+        The sub-plan index keys its freshness check on this: admitting a
+        duplicate query (or any other admitted-set-only bookkeeping) changes
+        no placement structure, so it must not force an index resync.
+        """
+        return (
+            self._fingerprint ^ self._admitted_fp,
+            len(self.flows),
+            len(self.available),
+            len(self.placements),
+            len(self.provided),
+        )
+
+    def stream_fingerprint(self, stream_id: int) -> Tuple[int, int]:
+        """The rolling ``(xor, count)`` slice of one stream's structures.
+
+        Covers every flow/availability/provided entry of the stream plus
+        every placement of an operator producing it.  Two allocation states
+        in which the stream's structures are identical report the same
+        slice, so the sub-plan index can prove a cached sub-plan fresh
+        after an *external* allocation change by comparing the slices of
+        just the streams that plan reads.
+        """
+        return (
+            self._stream_fp.get(stream_id, 0),
+            self._stream_fp_count.get(stream_id, 0),
+        )
+
+    def stream_fingerprint_scan(self, stream_id: int) -> Tuple[int, int]:
+        """Full-scan recomputation of :meth:`stream_fingerprint`."""
+        fp = 0
+        count = 0
+        for src, dst, s in self.flows:
+            if s == stream_id:
+                fp ^= hash((_FP_FLOW, src, dst, s))
+                count += 1
+        for host, s in self.available:
+            if s == stream_id:
+                fp ^= hash((_FP_AVAIL, host, s))
+                count += 1
+        for host, operator_id in self.placements:
+            if self.catalog.get_operator(operator_id).output_stream == stream_id:
+                fp ^= hash((_FP_PLACE, host, operator_id))
+                count += 1
+        host = self.provided.get(stream_id)
+        if host is not None:
+            fp ^= hash((_FP_PROVIDED, stream_id, host))
+            count += 1
+        return fp, count
 
     def drain_touched(self) -> Tuple[Set[int], Set[int], Set[int]]:
         """Return and reset the (hosts, streams, operators) touched so far.

@@ -471,6 +471,10 @@ class SystemCatalog:
         except IndexError:
             raise CatalogError(f"unknown query id {query_id}") from None
 
+    def has_query(self, query_id: int) -> bool:
+        """Whether ``query_id`` names a registered query."""
+        return 0 <= query_id < len(self._queries)
+
     @property
     def queries(self) -> List[Query]:
         """All registered queries in submission order."""

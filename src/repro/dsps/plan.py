@@ -161,6 +161,7 @@ def extract_plan(
     catalog: SystemCatalog,
     allocation,
     query_stream: int,
+    read_log: Optional[Set[Tuple[int, int]]] = None,
 ) -> QueryPlan:
     """Reconstruct a :class:`QueryPlan` for ``query_stream`` from an allocation.
 
@@ -169,6 +170,16 @@ def extract_plan(
     a flow from another host (which materialises a relay node).  Raises
     :class:`PlanError` if the allocation does not actually provide the
     stream.
+
+    ``read_log``, when given, accumulates every ``(host, stream)`` point of
+    the allocation the reconstruction consulted — positively *or*
+    negatively (an input checked and found missing is recorded too).  The
+    sub-plan index keys cached plans on exactly these points: the extracted
+    plan can only change if the allocation changes at a logged point, so
+    re-extraction after a delta is limited to the plans whose logged points
+    the delta touched.  (Placement lookups are covered by the producing
+    stream's point; base-injection lookups read the catalog, not the
+    allocation, and are handled by topology-change invalidation.)
     """
     from repro.dsps.allocation import Allocation  # local import to avoid a cycle
 
@@ -185,6 +196,8 @@ def extract_plan(
                 f"cycle while resolving stream {stream_id} at host {host}"
             )
         visiting = visiting | {key}
+        if read_log is not None:
+            read_log.add(key)
         stream = catalog.streams.get(stream_id)
 
         # Prefer an operator placed at this host that produces the stream.
@@ -196,6 +209,8 @@ def extract_plan(
                     ok = True
                     for input_id in operator.input_streams:
                         input_stream = catalog.streams.get(input_id)
+                        if read_log is not None:
+                            read_log.add((host, input_id))
                         if (
                             input_stream.is_base
                             and host in catalog.base_hosts_of(input_id)

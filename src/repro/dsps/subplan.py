@@ -1,0 +1,481 @@
+"""Persistent sub-plan index: incremental garbage collection and reuse
+matching for admissions against a large resident-query population.
+
+Reuse of already-deployed sub-queries is the core SQPR idea, but with the
+allocation garbage-collected through
+:func:`repro.dsps.plan.rebuild_minimal_allocation` every admission pays a
+full pass over *all* resident queries (one plan extraction each).  That
+term — together with the full-collection teardown scans and the overlap
+scan of scope computation, both fixed at their own call sites — made
+admission latency grow linearly with the number of resident queries.
+
+The :class:`SubPlanIndex` removes the remaining linear extraction term.
+It caches, per *result stream*, a :class:`SubPlanRecord`: the structure
+sequence the deployed sub-plan's extraction emits, plus the exact set of
+allocation points the extraction *read* — positively or negatively (see
+the ``read_log`` parameter of :func:`repro.dsps.plan.extract_plan`).
+Records are keyed by result stream rather than query id because duplicate
+queries share one deployed sub-plan; under a reuse-heavy (Zipfian)
+workload the number of records grows with the number of *distinct* plans,
+not with the resident-query count.
+
+Identity with the index-free path is non-negotiable here (the benchmark
+asserts bit-equal admissions and fingerprints), and it is delicate:
+solver tie-breaking is sensitive not just to allocation *content* but to
+the construction history of the allocation object (set iteration order,
+floating-point accumulation order in the cached resource aggregates).
+The index therefore never prunes the live allocation in place.  Instead
+:meth:`SubPlanIndex.collect` and :meth:`SubPlanIndex.retire`
+*materialise* a successor: a fresh :class:`Allocation` built by replaying
+the cached records in exactly the order
+:func:`rebuild_minimal_allocation` would emit them — sorted admitted
+queries, plan-tree node order within each.  Since ``extract_plan`` is a
+deterministic function of allocation content (its reverse-index reads are
+sorted) and the cached records equal what a fresh extraction would
+return, the materialised object is indistinguishable from the index-free
+rebuild's output.  What the index saves is the extraction work: only
+records whose logged read points the applied delta touched are
+re-extracted; everything else is replayed from cache.
+
+Two facts make the record cache exact:
+
+* **Read-key completeness.**  ``extract_plan`` is a deterministic
+  function of the allocation values at its logged ``(host, stream)``
+  points plus the catalog.  A delta that touches none of a record's
+  points cannot change that record's extraction.
+* **Minimality invariant.**  The live allocation always equals the union
+  of the records' structures (it *is* their replay), so records never go
+  stale between deltas.
+
+External changes (the engine adopting a different allocation, the
+adaptive replanner replacing the planner's allocation, a host failure)
+are detected by comparing the allocation's *structural* fingerprint
+against the value stored after the last index operation; a mismatch makes
+the caller fall back to the index-free rebuild once, after which
+:meth:`SubPlanIndex.rebuild` re-synchronises.  The rebuild is accelerated
+by per-stream fingerprint slices
+(:meth:`~repro.dsps.allocation.Allocation.stream_fingerprint`): a cached
+record whose read streams all carry unchanged slices is provably still
+the extraction result and is kept without re-extracting it.  Catalog
+state (base-injection liveness) is read by extraction at points the read
+log does not cover, so :meth:`SubPlanIndex.invalidate` must be called on
+topology changes — the planner does this in ``on_topology_change`` and
+``reset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dsps.allocation import Allocation, PlacementDelta
+from repro.dsps.catalog import SystemCatalog
+from repro.dsps.plan import extract_plan
+from repro.dsps.query import Query
+
+__all__ = [
+    "ReuseMatch",
+    "SubPlanIndex",
+    "SubPlanRecord",
+    "resolve_reuse_matches",
+]
+
+#: Pseudo-host used in read keys for "who provides this stream" lookups
+#: (real host ids are non-negative).
+_PROVIDER = -1
+
+ReadKey = Tuple[int, int]  # (host | _PROVIDER, stream)
+
+#: Structure-op kinds in a record's replay sequence.
+_AVAIL = 0
+_PLACE = 1
+_FLOW = 2
+
+Op = Tuple[int, Tuple[int, ...]]  # (kind, structure key)
+
+
+@dataclass(frozen=True)
+class SubPlanRecord:
+    """One result stream's cached deployed sub-plan.
+
+    ``ops`` is the exact structure sequence
+    :func:`rebuild_minimal_allocation` emits for one query using this
+    result stream, in emission order — replaying it reproduces the
+    rebuild bit for bit.  ``stream_slices`` snapshots the per-stream
+    fingerprint slice of every stream the extraction read, taken at
+    extraction time — the record's operator-subgraph fingerprint.  If
+    every slice still matches a live allocation, the record is provably
+    the plan a fresh extraction from it would return.
+    """
+
+    result_stream: int
+    provider: Optional[int]
+    ops: Tuple[Op, ...]
+    read_keys: FrozenSet[ReadKey]
+    stream_slices: Tuple[Tuple[int, int, int], ...]  # (stream, xor, count)
+
+    @property
+    def num_structures(self) -> int:
+        """Size of the deployed sub-plan in (non-distinct) structure ops."""
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class ReuseMatch:
+    """Reuse resolution for one arriving query, straight off the indexes.
+
+    ``exact`` — the result stream is already provided, so admission is a
+    free duplicate (Algorithm 1, line 3).  ``shared_streams`` /
+    ``overlapping_queries`` quantify partial reuse: how many of the
+    query's candidate streams some resident query also lists, and how
+    many distinct resident queries overlap at all.
+    """
+
+    query_id: int
+    result_stream: int
+    exact: bool
+    shared_streams: int
+    overlapping_queries: int
+
+    @property
+    def partial(self) -> bool:
+        """Whether the query overlaps residents without being a duplicate."""
+        return not self.exact and self.overlapping_queries > 0
+
+
+def resolve_reuse_matches(
+    allocation: Allocation, queries: Sequence[Query]
+) -> List[ReuseMatch]:
+    """Resolve exact/partial reuse for a batch in one index pass.
+
+    Per-stream membership lookups are shared across the batch
+    (co-arriving queries under a Zipfian workload overlap heavily), so
+    the cost is one index lookup per *distinct* candidate stream in the
+    batch, ~O(total query size) — never a scan over resident queries.
+    """
+    users_cache: Dict[int, FrozenSet[int]] = {}
+    matches: List[ReuseMatch] = []
+    for query in queries:
+        overlapping: Set[int] = set()
+        shared = 0
+        for stream_id in query.candidate_streams:
+            users = users_cache.get(stream_id)
+            if users is None:
+                users = allocation.queries_using_stream(stream_id)
+                users_cache[stream_id] = users
+            if users:
+                shared += 1
+                overlapping |= users
+        overlapping.discard(query.query_id)
+        matches.append(
+            ReuseMatch(
+                query_id=query.query_id,
+                result_stream=query.result_stream,
+                exact=allocation.is_provided(query.result_stream),
+                shared_streams=shared,
+                overlapping_queries=len(overlapping),
+            )
+        )
+    return matches
+
+
+class SubPlanIndex:
+    """Cached extraction results over one planner's live allocation.
+
+    The owning planner must call :meth:`is_fresh` before relying on any
+    incremental operation and fall back to the index-free path (followed
+    by :meth:`rebuild`) when it returns false.  :meth:`collect` and
+    :meth:`retire` return a *successor* allocation constructed exactly as
+    the index-free rebuild would construct it, so index-on and index-off
+    runs yield identical allocations — and therefore identical planning
+    decisions downstream.
+    """
+
+    def __init__(self, catalog: SystemCatalog) -> None:
+        self.catalog = catalog
+        self._records: Dict[int, SubPlanRecord] = {}
+        self._readers: Dict[ReadKey, Set[int]] = {}
+        # Structural fingerprint of the allocation after the last index
+        # operation; None until the first rebuild (and after invalidate()).
+        self._fp: Optional[Tuple] = None
+        self.stats: Dict[str, int] = {
+            "incremental_collects": 0,
+            "incremental_retires": 0,
+            "full_rebuilds": 0,
+            "records_reextracted": 0,
+            "records_reused": 0,
+            "stale_fallbacks": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Dict[int, SubPlanRecord]:
+        """Read-only view of the cached records (keyed by result stream)."""
+        return dict(self._records)
+
+    # ---------------------------------------------------------------- freshness
+    def is_fresh(self, allocation: Allocation) -> bool:
+        """Whether the index still describes ``allocation``.
+
+        Keyed on the *structural* fingerprint, so admitted-set-only
+        changes (duplicate admissions) stay fresh for free.
+        """
+        return (
+            self._fp is not None
+            and self._fp == allocation.structural_fingerprint()
+        )
+
+    def note_stale_fallback(self) -> None:
+        """Record that a caller had to take the index-free path."""
+        self.stats["stale_fallbacks"] += 1
+
+    def invalidate(self) -> None:
+        """Drop everything — required after catalog/topology changes.
+
+        Plan extraction reads the catalog (base-stream injection points
+        are filtered by host liveness) at points the read log does not
+        cover, so cached records cannot be trusted across a topology
+        change even when their stream slices match.
+        """
+        self._records.clear()
+        self._readers.clear()
+        self._fp = None
+
+    # ----------------------------------------------------------- record plumbing
+    def _extract(self, allocation: Allocation, result_stream: int) -> SubPlanRecord:
+        """Extract the current sub-plan record for ``result_stream``.
+
+        Emits exactly the structure sequence
+        :func:`rebuild_minimal_allocation` adds for one admitted query of
+        this result stream; a missing provider yields an empty record
+        (the rebuild skips such queries entirely).
+        """
+        self.stats["records_reextracted"] += 1
+        catalog = self.catalog
+        provider = allocation.provider_of(result_stream)
+        read_keys: Set[ReadKey] = {(_PROVIDER, result_stream)}
+        ops: List[Op] = []
+        if provider is not None:
+            log: Set[ReadKey] = set()
+            plan = extract_plan(catalog, allocation, result_stream, read_log=log)
+            read_keys |= log
+            for node in plan.nodes():
+                ops.append((_AVAIL, (node.host, node.output_stream)))
+                if node.operator_id is not None:
+                    ops.append((_PLACE, (node.host, node.operator_id)))
+                    operator = catalog.get_operator(node.operator_id)
+                    for input_id in operator.input_streams:
+                        ops.append((_AVAIL, (node.host, input_id)))
+                for child in node.children:
+                    if child.host != node.host:
+                        ops.append(
+                            (_FLOW, (child.host, node.host, child.output_stream))
+                        )
+                        ops.append((_AVAIL, (node.host, child.output_stream)))
+        streams = {result_stream} | {s for (_h, s) in read_keys}
+        slices = tuple(
+            (s,) + allocation.stream_fingerprint(s) for s in sorted(streams)
+        )
+        return SubPlanRecord(
+            result_stream=result_stream,
+            provider=provider,
+            ops=tuple(ops),
+            read_keys=frozenset(read_keys),
+            stream_slices=slices,
+        )
+
+    def _add_record(self, record: SubPlanRecord) -> None:
+        self._records[record.result_stream] = record
+        for key in record.read_keys:
+            self._readers.setdefault(key, set()).add(record.result_stream)
+
+    def _drop_record(self, record: SubPlanRecord) -> None:
+        del self._records[record.result_stream]
+        for key in record.read_keys:
+            readers = self._readers.get(key)
+            if readers is not None:
+                readers.discard(record.result_stream)
+                if not readers:
+                    del self._readers[key]
+
+    def _slices_match(
+        self, record: SubPlanRecord, allocation: Allocation
+    ) -> bool:
+        stream_fingerprint = allocation.stream_fingerprint
+        return all(
+            stream_fingerprint(stream_id) == (xor, count)
+            for stream_id, xor, count in record.stream_slices
+        )
+
+    def _materialise(
+        self, allocation: Allocation, admitted_ids: Iterable[int]
+    ) -> Allocation:
+        """Build the successor allocation by replaying cached records.
+
+        Mirrors :func:`rebuild_minimal_allocation` statement for
+        statement (sorted admitted queries, per-query provided entry,
+        plan-tree structure order) so the returned object's internal
+        state — set iteration order, aggregate accumulation order,
+        fingerprint — is identical to what the index-free rebuild of
+        ``allocation`` would produce.
+        """
+        catalog = self.catalog
+        rebuilt = Allocation(catalog)
+        for query_id in sorted(admitted_ids):
+            query = catalog.get_query(query_id)
+            record = self._records.get(query.result_stream)
+            if record is None:
+                # Defensive: an admitted result the delta bookkeeping did
+                # not cover.  Extract on demand from the same source the
+                # index-free rebuild would read.
+                record = self._extract(allocation, query.result_stream)
+                self._add_record(record)
+            if record.provider is None:
+                # Admitted queries always have a provider; tolerate the
+                # inconsistency exactly like the index-free rebuild does.
+                continue
+            rebuilt.admitted_queries.add(query_id)
+            rebuilt.provided[query.result_stream] = record.provider
+            for kind, key in record.ops:
+                if kind == _AVAIL:
+                    rebuilt.available.add(key)
+                elif kind == _PLACE:
+                    rebuilt.placements.add(key)
+                else:
+                    rebuilt.flows.add(key)
+        rebuilt.inherit_touched(allocation)
+        self._fp = rebuilt.structural_fingerprint()
+        return rebuilt
+
+    # ------------------------------------------------------------------ rebuild
+    def rebuild(self, allocation: Allocation) -> None:
+        """Re-synchronise against ``allocation`` (which must already be
+        garbage-collected, i.e. the output of the index-free rebuild).
+
+        Cached records whose stream slices all still match are kept
+        without re-extraction — after a localised external change (a host
+        failure victimising a few queries) this skips the vast majority
+        of the resident population.
+        """
+        self.stats["full_rebuilds"] += 1
+        catalog = self.catalog
+        wanted = {
+            catalog.get_query(query_id).result_stream
+            for query_id in allocation.admitted_queries
+            if catalog.has_query(query_id)
+        }
+        for result_stream in list(self._records):
+            record = self._records[result_stream]
+            if result_stream not in wanted or not self._slices_match(
+                record, allocation
+            ):
+                self._drop_record(record)
+        for result_stream in sorted(wanted):
+            if result_stream in self._records:
+                self.stats["records_reused"] += 1
+                continue
+            self._add_record(self._extract(allocation, result_stream))
+        self._fp = allocation.structural_fingerprint()
+
+    # ------------------------------------------------------- incremental collect
+    def _delta_keys(self, delta: PlacementDelta) -> Set[ReadKey]:
+        """The read points an applied delta could have changed.
+
+        Flows map to their *sink* point (extraction reads flow sources
+        per receiving host), placements to their operator's output stream
+        at the host, and provided changes to the pseudo-provider point.
+        """
+        catalog = self.catalog
+        keys: Set[ReadKey] = set()
+        for _src, dst, stream_id in delta.add_flows:
+            keys.add((dst, stream_id))
+        for _src, dst, stream_id in delta.remove_flows:
+            keys.add((dst, stream_id))
+        keys.update(delta.add_available)
+        keys.update(delta.remove_available)
+        for host, operator_id in delta.add_placements:
+            keys.add((host, catalog.get_operator(operator_id).output_stream))
+        for host, operator_id in delta.remove_placements:
+            keys.add((host, catalog.get_operator(operator_id).output_stream))
+        for stream_id in delta.set_provided:
+            keys.add((_PROVIDER, stream_id))
+        for stream_id in delta.unset_provided:
+            keys.add((_PROVIDER, stream_id))
+        return keys
+
+    def collect(
+        self,
+        allocation: Allocation,
+        delta: PlacementDelta,
+        forced_results: Iterable[int] = (),
+    ) -> Allocation:
+        """Incremental garbage collection after ``delta`` was applied.
+
+        ``allocation`` is the post-apply state; ``forced_results`` are
+        the result streams of the queries this round admitted or
+        replanned (their records are re-extracted unconditionally).
+        Returns the successor allocation — equal, object state included,
+        to ``rebuild_minimal_allocation(catalog, allocation)`` — at an
+        extraction cost proportional to the delta and the affected
+        sub-plans rather than the resident-query count.
+
+        The caller must have checked :meth:`is_fresh` against the
+        *pre-delta* allocation.
+        """
+        self.stats["incremental_collects"] += 1
+        affected: Set[int] = set(forced_results)
+        for key in self._delta_keys(delta):
+            readers = self._readers.get(key)
+            if readers:
+                affected |= readers
+        for result_stream in sorted(affected):
+            old = self._records.get(result_stream)
+            if old is not None:
+                self._drop_record(old)
+            if allocation.queries_for_result(result_stream):
+                self._add_record(self._extract(allocation, result_stream))
+        successor = self._materialise(allocation, allocation.admitted_queries)
+        # Records were extracted from the pre-prune (post-apply) state; the
+        # successor drops solver residue those extractions never used.
+        # Extraction has no backtracking, so from the minimal successor it
+        # resolves along exactly the same path — re-snap the slices against
+        # the successor so a later rebuild() can recognise the records.
+        for result_stream in affected:
+            record = self._records.get(result_stream)
+            if record is not None:
+                self._records[result_stream] = replace(
+                    record,
+                    stream_slices=tuple(
+                        (s,) + successor.stream_fingerprint(s)
+                        for s, _xor, _count in record.stream_slices
+                    ),
+                )
+        return successor
+
+    # --------------------------------------------------------------- retirement
+    def retire(
+        self, allocation: Allocation, query_id: int
+    ) -> Optional[Allocation]:
+        """Retire ``query_id``; mirror of ``without_queries`` + rebuild.
+
+        Returns the successor allocation, or ``None`` when the query is
+        not admitted (the index-free path returns ``False`` then).
+        Retirement changes no structures before the rebuild, so the
+        surviving records are exactly the surviving queries' extractions
+        and no re-extraction is needed at all.  The caller must have
+        checked :meth:`is_fresh` and that the catalog knows the id.
+        """
+        if query_id not in allocation.admitted_queries:
+            return None
+        self.stats["incremental_retires"] += 1
+        remaining = set(allocation.admitted_queries)
+        remaining.discard(query_id)
+        result_stream = self.catalog.get_query(query_id).result_stream
+        successor = self._materialise(allocation, remaining)
+        if not successor.queries_for_result(result_stream):
+            record = self._records.get(result_stream)
+            if record is not None:
+                self._drop_record(record)
+        return successor

@@ -183,8 +183,16 @@ def parse_spec(
     """
     parts = [part.strip() for part in expression.split("+")]
     if not all(parts):
+        if not expression.strip():
+            detail = "expression is empty"
+        elif expression.strip().startswith("+"):
+            detail = "leading '+'"
+        elif expression.strip().endswith("+"):
+            detail = "trailing '+'"
+        else:
+            detail = "consecutive '+' operators"
         raise WorkloadError(
-            f"malformed spec expression {expression!r} (empty operand)"
+            f"malformed spec expression {expression!r} (empty operand: {detail})"
         )
     specs = []
     for part in parts:

@@ -265,6 +265,8 @@ class AdmissionService:
         self._m_fallbacks = registry.counter("fallback_batches_total")
         self._m_deploys = registry.counter("deploys_total")
         self._m_deploy_failures = registry.counter("deploy_failures_total")
+        self._m_reuse_exact = registry.counter("reuse_exact_total")
+        self._m_reuse_partial = registry.counter("reuse_partial_total")
         self._m_queue_depth = registry.gauge("queue_depth")
         self._m_batch_size = registry.histogram(
             "batch_size", lowest=1.0, highest=4096.0, growth=2.0
@@ -443,6 +445,12 @@ class AdmissionService:
                 self._m_admitted.inc()
             else:
                 self._m_rejected.inc()
+            # Reuse resolution is one shared index pass inside
+            # ``submit_batch``; the matches ride along on the extras.
+            if outcome.reuse_exact:
+                self._m_reuse_exact.inc()
+            elif outcome.reuse_partial:
+                self._m_reuse_partial.inc()
         allocation = self.planner.allocation
         if self.engine is not None and allocation is not None:
             # Drain exactly what this batch touched for the deploy stage's

@@ -26,12 +26,18 @@ def map_in_pool(
 ) -> List[R]:
     """Apply ``fn`` to every item, preserving input order in the result.
 
-    ``workers`` bounds the pool width (``None`` or ``1`` runs sequentially
-    in the calling thread — no pool, no thread-switch overhead); the
-    effective width never exceeds ``len(items)``.  Exceptions propagate
-    from the first failing item in submission order, exactly as the
-    sequential path would raise them.
+    ``workers`` bounds the pool width (``None``, ``0`` or ``1`` runs
+    sequentially in the calling thread — no pool, no thread-switch
+    overhead); a negative ``workers`` is a caller bug and raises
+    :class:`ValueError` rather than silently degrading to the sequential
+    path.  The effective width never exceeds ``len(items)``.  Exceptions
+    propagate from the first failing item in submission order, exactly as
+    the sequential path would raise them; on failure the not-yet-started
+    remainder of the batch is cancelled instead of being run to
+    completion behind the caller's back.
     """
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
     width = min(workers or 1, len(items))
     if width <= 1:
         return [fn(item) for item in items]
@@ -39,4 +45,9 @@ def map_in_pool(
         max_workers=width, thread_name_prefix=thread_name_prefix
     ) as pool:
         futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

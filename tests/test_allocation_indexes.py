@@ -213,6 +213,20 @@ def assert_mirrors_naive(allocation: Allocation) -> None:
         assert allocation.hosts_of_operator(operator_id) == frozenset(
             h for (h, o) in placements if o == operator_id
         )
+        assert allocation.queries_using_operator(
+            operator_id
+        ) == allocation.queries_using_operator_scan(operator_id)
+
+    for stream_id in STREAM_IDS:
+        assert allocation.stream_fingerprint(
+            stream_id
+        ) == allocation.stream_fingerprint_scan(stream_id)
+        assert allocation.queries_using_stream(
+            stream_id
+        ) == allocation.queries_using_stream_scan(stream_id)
+        assert allocation.queries_for_result(
+            stream_id
+        ) == allocation.queries_for_result_scan(stream_id)
     assert allocation.placed_operators() == sorted({o for (_h, o) in placements})
     assert allocation.max_cpu_used() == pytest.approx(
         allocation.max_cpu_used_scan(), **APPROX
@@ -256,6 +270,11 @@ def assert_mirrors_naive(allocation: Allocation) -> None:
     for query_id in sorted(allocation.admitted_queries, reverse=True):
         rebuilt.admit_query(query_id)
     assert rebuilt.fingerprint() == allocation.fingerprint()
+    assert rebuilt.structural_fingerprint() == allocation.structural_fingerprint()
+    for stream_id in STREAM_IDS:
+        assert rebuilt.stream_fingerprint(
+            stream_id
+        ) == allocation.stream_fingerprint(stream_id)
 
 
 common_settings = settings(
@@ -339,6 +358,117 @@ class TestIndexMirror:
         assert allocation.fingerprint() == snapshot_fp
         assert_mirrors_naive(allocation)
         assert_mirrors_naive(clone)
+
+
+class TestFingerprintCancellation:
+    """Adversarial duplicate add/remove sequences against the rolling XOR.
+
+    An XOR accumulator over a *multiset* would let a duplicate insertion
+    cancel itself (x ^ x == 0) and report an empty-looking digest for a
+    non-empty state.  The observed collections are sets, so a second add
+    of a present key must be a no-op for the fingerprint, and remove/add
+    churn must always land back on the content digest.  These tests pin
+    that by pitting the rolling digest against the content-enumerating
+    oracle under sequences crafted to trigger cancellation.
+    """
+
+    def test_duplicate_add_is_a_fingerprint_noop(self):
+        from repro.core.model_builder import (
+            allocation_fingerprint,
+            allocation_fingerprint_exact,
+        )
+
+        allocation = Allocation(CATALOG)
+        flow = (0, 1, STREAM_IDS[0])
+        allocation.flows.add(flow)
+        once = allocation_fingerprint(allocation)
+        # A second add of the same key must not XOR the term again (which
+        # would cancel it and make the state fingerprint as empty).
+        allocation.flows.add(flow)
+        allocation.flows.update([flow])
+        allocation.flows |= {flow}
+        assert allocation_fingerprint(allocation) == once
+        assert allocation_fingerprint(allocation) != Allocation(
+            CATALOG
+        ).fingerprint()
+        assert len(allocation.flows) == 1
+        assert allocation_fingerprint_exact(
+            allocation
+        ) == allocation_fingerprint_exact(allocation)
+
+    def test_remove_absent_key_is_a_fingerprint_noop(self):
+        allocation = Allocation(CATALOG)
+        avail = (0, STREAM_IDS[1])
+        allocation.available.add(avail)
+        once = allocation.fingerprint()
+        allocation.available.discard((2, STREAM_IDS[1]))
+        allocation.available -= {(1, STREAM_IDS[1])}
+        assert allocation.fingerprint() == once
+
+    @given(
+        key=st.tuples(
+            st.sampled_from(HOSTS), st.sampled_from(STREAM_IDS)
+        ),
+        churn=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @common_settings
+    def test_add_remove_churn_lands_on_content_digest(self, key, churn):
+        # Replay an arbitrary present/absent toggle history for one key and
+        # check the rolling digest matches a fresh same-content build.
+        from repro.core.model_builder import (
+            allocation_fingerprint,
+            allocation_fingerprint_exact,
+        )
+
+        allocation = Allocation(CATALOG)
+        for want_present in churn:
+            if want_present:
+                allocation.available.add(key)
+            else:
+                allocation.available.discard(key)
+        reference = Allocation(CATALOG)
+        if churn[-1]:
+            reference.available.add(key)
+        assert allocation_fingerprint(allocation) == allocation_fingerprint(
+            reference
+        )
+        assert allocation_fingerprint_exact(
+            allocation
+        ) == allocation_fingerprint_exact(reference)
+        assert allocation.stream_fingerprint(
+            key[1]
+        ) == allocation.stream_fingerprint_scan(key[1])
+
+    @given(ops=mutations(max_ops=30))
+    @common_settings
+    def test_structural_fingerprint_is_blind_to_admitted_churn(self, ops):
+        allocation = Allocation(CATALOG)
+        for op in ops:
+            allocation = apply_mutation(allocation, op)
+        before = allocation.structural_fingerprint()
+        # Admitted-set churn never moves the structural fingerprint.
+        for query_id in QUERY_IDS:
+            allocation.admit_query(query_id)
+            assert allocation.structural_fingerprint() == before
+        for query_id in QUERY_IDS:
+            allocation.admitted_queries.discard(query_id)
+        assert allocation.structural_fingerprint() == before
+        full_before = allocation.fingerprint()
+        # A structural change moves it.
+        probe = (2, STREAM_IDS[-1])
+        was_present = probe in allocation.available
+        if was_present:
+            allocation.available.discard(probe)
+        else:
+            allocation.available.add(probe)
+        assert allocation.structural_fingerprint() != before
+        # Round-trip back restores both digests (history-independence).
+        if was_present:
+            allocation.available.add(probe)
+        else:
+            allocation.available.discard(probe)
+        assert allocation.structural_fingerprint() == before
+        assert allocation.fingerprint() == full_before
 
 
 class TestValidateDeltaFromValidState:

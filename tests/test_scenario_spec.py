@@ -206,6 +206,28 @@ def test_parse_spec_composes_and_reports_unknown_names():
         parse_spec("a++b", registry)
 
 
+def test_parse_spec_pinpoints_the_malformed_operand():
+    registry = {"a": ScenarioSpec("a"), "b": ScenarioSpec("b")}
+    # The diagnostic names which way the expression is malformed so a typo
+    # in a long composition is findable without counting plus signs.
+    with pytest.raises(WorkloadError, match="consecutive '\\+'"):
+        parse_spec("a++b", registry)
+    with pytest.raises(WorkloadError, match="leading '\\+'"):
+        parse_spec("+a+b", registry)
+    with pytest.raises(WorkloadError, match="trailing '\\+'"):
+        parse_spec("a+b+", registry)
+    with pytest.raises(WorkloadError, match="expression is empty"):
+        parse_spec("", registry)
+    with pytest.raises(WorkloadError, match="expression is empty"):
+        parse_spec("   ", registry)
+    with pytest.raises(WorkloadError, match="leading '\\+'"):
+        parse_spec("+", registry)
+    # Whitespace-padded operands still work; whitespace-only ones do not.
+    assert parse_spec(" a + b ", registry).name == "a+b"
+    with pytest.raises(WorkloadError, match="empty operand"):
+        parse_spec("a+ +b", registry)
+
+
 def test_to_dict_reports_flattened_overrides():
     a = ScenarioSpec("a", trace={"burst_factor": 2.0})
     b = ScenarioSpec("b", topology={"seed": 11})

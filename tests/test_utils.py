@@ -97,3 +97,65 @@ class TestValidation:
     def test_nan_rejected(self):
         with pytest.raises(ValueError):
             check_non_negative("x", float("nan"))
+
+
+class TestMapInPool:
+    def test_preserves_order_sequential_and_pooled(self):
+        from repro.utils.pool import map_in_pool
+
+        items = list(range(20))
+        assert map_in_pool(lambda x: x * x, items) == [x * x for x in items]
+        assert map_in_pool(lambda x: x * x, items, workers=4) == [
+            x * x for x in items
+        ]
+        assert map_in_pool(lambda x: x, []) == []
+        assert map_in_pool(lambda x: x, [], workers=8) == []
+
+    def test_negative_workers_is_an_error_not_sequential(self):
+        from repro.utils.pool import map_in_pool
+
+        # A negative width used to fall through ``workers or 1`` into the
+        # silent sequential path; it is a caller bug and must be loud.
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            map_in_pool(lambda x: x, [1, 2, 3], workers=-1)
+        with pytest.raises(ValueError, match="got -4"):
+            map_in_pool(lambda x: x, [1, 2, 3], workers=-4)
+        # Zero and None still mean "sequential in the calling thread".
+        assert map_in_pool(lambda x: x + 1, [1, 2], workers=0) == [2, 3]
+        assert map_in_pool(lambda x: x + 1, [1, 2], workers=None) == [2, 3]
+
+    def test_first_failure_propagates_and_cancels_the_tail(self):
+        import threading
+
+        from repro.utils.pool import map_in_pool
+
+        started: list = []
+        gate = threading.Event()
+
+        def work(item):
+            started.append(item)
+            if item == 0:
+                # Fail fast while the rest of the batch is still queued
+                # behind the single worker.
+                raise RuntimeError("boom")
+            gate.wait(0.01)
+            return item
+
+        with pytest.raises(RuntimeError, match="boom"):
+            map_in_pool(work, list(range(64)), workers=2)
+        # The not-yet-started remainder must have been cancelled rather
+        # than run to completion after the failure propagated.
+        assert len(started) < 64
+
+    def test_exception_order_matches_sequential_semantics(self):
+        from repro.utils.pool import map_in_pool
+
+        def work(item):
+            if item % 3 == 0:
+                raise ValueError(f"item {item}")
+            return item
+
+        # The first failing item in submission order wins, like the
+        # sequential loop.
+        with pytest.raises(ValueError, match="item 0"):
+            map_in_pool(work, list(range(8)), workers=4)
