@@ -24,6 +24,7 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core.model_builder import build_model
@@ -74,14 +75,30 @@ def test_fig5b_scalability_resources(benchmark):
 
 
 # --------------------------------------------------------------------------
-# Planning-time trajectory: dense reference tableau vs sparse revised simplex.
+# Planning-time trajectory: dense reference tableau vs sparse revised simplex,
+# plus a "re-plan after perturbation" column: after the cold solve the
+# capacity rows are degraded (a host losing resources) and the perturbed LP
+# is re-solved cold vs warm from the incumbent basis (dual simplex resume).
 
-#: (num_hosts, join_arity) per measured size; the largest entry carries the
-#: >= 3x speedup assertion.  Quick mode keeps CI runs under ~10 s.
-FULL_SIZES = [(4, 3), (6, 3), (8, 4)]
-QUICK_SIZES = [(4, 3), (6, 3)]
+#: (num_hosts, join_arity, dense_oracle) per measured size.  The largest
+#: entry with ``dense_oracle=True`` carries the >= 3x dense-vs-sparse
+#: assertion; the largest entry overall carries the >= 3x warm-replan
+#: assertion.  Sizes beyond the dense tableau's practical range set
+#: ``dense_oracle=False`` and skip the dense timing.  Quick mode keeps CI
+#: runs under ~10 s.
+FULL_SIZES = [(4, 3, True), (6, 3, True), (8, 4, True), (12, 4, False)]
+QUICK_SIZES = [(4, 3, True), (6, 3, True)]
 
 MIN_SPEEDUP_AT_LARGEST = 3.0
+MIN_REPLAN_SPEEDUP_AT_LARGEST = 3.0
+#: Quick mode measures tiny LPs where fixed per-solve overhead dominates, so
+#: the warm-replan ratio gate is relaxed there (full mode keeps the 3x gate).
+MIN_REPLAN_SPEEDUP_QUICK = 1.5
+
+#: Capacity rows (large RHS) are scaled by this factor for the perturbation
+#: re-solve; small structural RHS entries (the <= 1 demand rows) are kept.
+PERTURB_CAPACITY_SCALE = 0.9
+PERTURB_RHS_CUTOFF = 2.0
 
 
 def _fig5_planning_model(num_hosts: int, arity: int):
@@ -106,20 +123,49 @@ def _fig5_planning_model(num_hosts: int, arity: int):
     return to_standard_form(built.model)
 
 
-def _timed_lp(form, engine: str, warm_basis=None):
+def _timed_lp(form, engine: str, b_ub=None, warm_basis=None, method="auto"):
     start = time.perf_counter()
     solution = solve_lp(
         form.c,
         form.a_ub,
-        form.b_ub,
+        form.b_ub if b_ub is None else b_ub,
         form.a_eq,
         form.b_eq,
         form.lower,
         form.upper,
         engine=engine,
         warm_basis=warm_basis,
+        method=method,
     )
     return solution, time.perf_counter() - start
+
+
+def _perturbed_rhs(form):
+    """Degrade the capacity rows, as a host losing resources would.
+
+    Only large right-hand sides (CPU, link, bandwidth budgets) are scaled;
+    the structural ``<= 1`` demand rows are left alone so the perturbed LP
+    keeps the same admission semantics.
+    """
+    b_ub = np.array(form.b_ub, dtype=float, copy=True)
+    capacity_rows = b_ub > PERTURB_RHS_CUTOFF
+    b_ub[capacity_rows] *= PERTURB_CAPACITY_SCALE
+    return b_ub
+
+
+def _admission_mass(form, x):
+    """Per-stream admission mass: sum of the ``d[h,s]`` values per stream.
+
+    The ``d`` variables are the paper's admission decisions; comparing their
+    per-stream totals (rather than raw vectors) keeps the check stable under
+    degenerate alternate optima that merely move a plan between hosts.
+    """
+    mass = {}
+    for i, var in enumerate(form.variables):
+        if var.name.startswith("d["):
+            stream = var.name[var.name.index(",") + 1 : -1]
+            mass[stream] = mass.get(stream, 0.0) + float(x[i])
+    return {stream: round(total, 6) for stream, total in mass.items()}
 
 
 def test_fig5_planning_time_report():
@@ -132,16 +178,48 @@ def test_fig5_planning_time_report():
     )
 
     records = []
-    for num_hosts, arity in sizes:
+    largest_oracle_index = None
+    for num_hosts, arity, dense_oracle in sizes:
         form = _fig5_planning_model(num_hosts, arity)
-        dense_sol, dense_seconds = _timed_lp(form, "dense")
         sparse_sol, sparse_seconds = _timed_lp(form, "simplex")
         warm_sol, warm_seconds = _timed_lp(form, "simplex", warm_basis=sparse_sol.basis)
+        assert sparse_sol.is_optimal and warm_sol.is_optimal
+        scale = max(1.0, abs(sparse_sol.objective))
+        assert abs(warm_sol.objective - sparse_sol.objective) <= 1e-5 * scale
 
-        assert dense_sol.is_optimal and sparse_sol.is_optimal and warm_sol.is_optimal
-        scale = max(1.0, abs(dense_sol.objective))
-        assert abs(sparse_sol.objective - dense_sol.objective) <= 1e-5 * scale
-        assert abs(warm_sol.objective - dense_sol.objective) <= 1e-5 * scale
+        dense_seconds = None
+        speedup = None
+        if dense_oracle:
+            dense_sol, dense_seconds = _timed_lp(form, "dense")
+            assert dense_sol.is_optimal
+            assert abs(sparse_sol.objective - dense_sol.objective) <= 1e-5 * scale
+            speedup = round(dense_seconds / max(1e-9, sparse_seconds), 2)
+            largest_oracle_index = len(records)
+
+        # Re-plan after perturbation: degrade the capacity rows and re-solve
+        # cold (fresh phase-1 primal) vs warm (dual simplex resuming the
+        # incumbent basis).  Both must agree exactly on what is admitted.
+        b_ub_pert = _perturbed_rhs(form)
+        cold_replan_sol, cold_replan_seconds = _timed_lp(form, "simplex", b_ub=b_ub_pert)
+        warm_replan_sol, warm_replan_seconds = _timed_lp(
+            form, "simplex", b_ub=b_ub_pert, warm_basis=sparse_sol.basis
+        )
+        assert cold_replan_sol.is_optimal and warm_replan_sol.is_optimal
+        replan_scale = max(1.0, abs(cold_replan_sol.objective))
+        assert (
+            abs(warm_replan_sol.objective - cold_replan_sol.objective)
+            <= 1e-5 * replan_scale
+        )
+        assert warm_replan_sol.warm_status == "dual_resume", (
+            f"warm re-plan fell back to {warm_replan_sol.warm_status!r} at "
+            f"hosts={num_hosts} arity={arity}"
+        )
+        cold_mass = _admission_mass(form, cold_replan_sol.x)
+        warm_mass = _admission_mass(form, warm_replan_sol.x)
+        assert warm_mass == cold_mass, (
+            f"warm and cold re-plans disagree on admission decisions: "
+            f"{warm_mass} != {cold_mass}"
+        )
 
         records.append(
             {
@@ -150,18 +228,36 @@ def test_fig5_planning_time_report():
                 "num_variables": form.num_variables,
                 "num_constraints": form.a_ub.shape[0] + form.a_eq.shape[0],
                 "nnz": form.a_ub.nnz + form.a_eq.nnz,
-                "dense_seconds": round(dense_seconds, 6),
+                "dense_oracle": dense_oracle,
+                "dense_seconds": None if dense_seconds is None else round(dense_seconds, 6),
                 "sparse_seconds": round(sparse_seconds, 6),
                 "sparse_warm_seconds": round(warm_seconds, 6),
-                "speedup": round(dense_seconds / max(1e-9, sparse_seconds), 2),
-                "objective": dense_sol.objective,
+                "speedup": speedup,
+                "replan_cold_seconds": round(cold_replan_seconds, 6),
+                "replan_warm_seconds": round(warm_replan_seconds, 6),
+                "replan_speedup": round(
+                    cold_replan_seconds / max(1e-9, warm_replan_seconds), 2
+                ),
+                "replan_warm_status": warm_replan_sol.warm_status,
+                "replan_dual_iterations": (
+                    warm_replan_sol.counters.dual_iterations
+                    if warm_replan_sol.counters is not None
+                    else None
+                ),
+                "objective": sparse_sol.objective,
+                "replan_objective": cold_replan_sol.objective,
             }
         )
         print(
             f"fig5 planning time: hosts={num_hosts} arity={arity} "
             f"vars={records[-1]['num_variables']} "
-            f"dense={dense_seconds:.3f}s sparse={sparse_seconds:.3f}s "
-            f"warm={warm_seconds:.3f}s speedup={records[-1]['speedup']}x"
+            f"dense={'-' if dense_seconds is None else f'{dense_seconds:.3f}s'} "
+            f"sparse={sparse_seconds:.3f}s warm={warm_seconds:.3f}s "
+            f"speedup={records[-1]['speedup']}x "
+            f"replan cold={cold_replan_seconds:.3f}s "
+            f"warm={warm_replan_seconds:.3f}s "
+            f"({records[-1]['replan_speedup']}x, "
+            f"{records[-1]['replan_warm_status']})"
         )
 
     report = {
@@ -170,15 +266,31 @@ def test_fig5_planning_time_report():
         "baseline_engine": "dense",
         "candidate_engine": "simplex",
         "min_speedup_at_largest": MIN_SPEEDUP_AT_LARGEST,
+        "min_replan_speedup_at_largest": (
+            MIN_REPLAN_SPEEDUP_QUICK if quick else MIN_REPLAN_SPEEDUP_AT_LARGEST
+        ),
+        "perturbation": {
+            "capacity_scale": PERTURB_CAPACITY_SCALE,
+            "rhs_cutoff": PERTURB_RHS_CUTOFF,
+        },
         "sizes": records,
         "largest": records[-1],
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"fig5 planning-time report written to {out_path}")
 
-    assert records[-1]["speedup"] >= MIN_SPEEDUP_AT_LARGEST, (
-        f"sparse simplex is only {records[-1]['speedup']}x faster than the "
-        f"dense tableau at the largest size; expected >= {MIN_SPEEDUP_AT_LARGEST}x"
+    assert largest_oracle_index is not None
+    oracle_record = records[largest_oracle_index]
+    assert oracle_record["speedup"] >= MIN_SPEEDUP_AT_LARGEST, (
+        f"sparse simplex is only {oracle_record['speedup']}x faster than the "
+        f"dense tableau at the largest oracle size; expected >= "
+        f"{MIN_SPEEDUP_AT_LARGEST}x"
+    )
+    replan_gate = MIN_REPLAN_SPEEDUP_QUICK if quick else MIN_REPLAN_SPEEDUP_AT_LARGEST
+    assert records[-1]["replan_speedup"] >= replan_gate, (
+        f"warm dual-simplex re-plan is only {records[-1]['replan_speedup']}x "
+        f"faster than a cold re-solve at the largest size; expected >= "
+        f"{replan_gate}x"
     )
 
 

@@ -1,0 +1,134 @@
+"""Warm-started re-planning after a host failure (dual-simplex resume).
+
+A host failure is the paper's canonical re-planning trigger: the victims
+are removed and re-submitted against a perturbed system.  Structurally the
+MILP of each re-submission is the one the planner already solved — only
+bounds and capacities moved — so the SQPR planner resumes the incumbent
+simplex basis through the *dual* simplex instead of paying a cold phase-1
+solve (see ``docs/architecture.md``, "Dual-simplex re-planning").
+
+The script admits a workload, fails the busiest host, re-admits the
+victims through ``planner.resubmit`` and then re-plans one survivor in
+place twice — the second round resumes the basis stored by the first —
+printing the solver counters (dual resumes, phase-1 iterations, cold
+fallbacks, ...) and the basis-store hit rate after each round.
+
+Run with::
+
+    python examples/warm_replanning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterEngine,
+    MilpSolver,
+    PlannerConfig,
+    SimulationScenarioConfig,
+    SolverBackend,
+    SQPRPlanner,
+    build_simulation_scenario,
+)
+from repro.milp import SOLVER_COUNTER_FIELDS
+
+
+def print_counters(title: str, totals: dict, previous: dict) -> dict:
+    """Print the counter delta since ``previous`` and return a snapshot."""
+    print(title)
+    for name in SOLVER_COUNTER_FIELDS:
+        delta = totals.get(name, 0) - previous.get(name, 0)
+        if delta:
+            print(f"  {name:>20}: +{delta}")
+    print()
+    return dict(totals)
+
+
+def main() -> None:
+    scenario = build_simulation_scenario(
+        SimulationScenarioConfig(num_hosts=5, num_base_streams=20, seed=7)
+    )
+    catalog = scenario.build_catalog()
+    # Pin the in-repo branch-and-bound + sparse simplex stack: it is what
+    # implements basis hand-back and dual-simplex resumes (with scipy
+    # installed the default backend would be HiGHS, which has neither).
+    planner = SQPRPlanner(
+        catalog,
+        config=PlannerConfig(time_limit=1.0),
+        solver=MilpSolver(
+            backend=SolverBackend.BRANCH_AND_BOUND,
+            time_limit=1.0,
+            lp_engine="simplex",
+        ),
+    )
+
+    for item in scenario.workload(10, arities=(2, 3)):
+        planner.submit(item)
+    print(f"admitted {planner.num_admitted}/10 queries\n")
+    snapshot = print_counters(
+        "solver counters after initial admissions (cold solves):",
+        planner.solver_counters(),
+        {},
+    )
+
+    # Fail the host carrying the most CPU load; the engine evicts every
+    # query whose plan depends on it (the harness wires churn the same way).
+    engine = ClusterEngine(catalog, strict=False)
+    engine.adopt(planner.allocation)
+    victim_host = max(
+        catalog.host_ids, key=lambda h: planner.allocation.cpu_utilisation(h)
+    )
+    report = engine.fail_host(victim_host)
+    planner.allocation = engine.allocation
+    planner.on_topology_change()
+    print(f"host {victim_host} failed; evicted queries: {report.victims}")
+
+    # Re-admit the victims through the re-planning path.  resubmit marks
+    # each outcome as a perturbation re-solve and lets the MILP stack
+    # resume stored bases where the scope still matches.
+    for victim in report.victims:
+        outcome = planner.resubmit(catalog.get_query(victim))
+        verdict = "re-admitted" if outcome.admitted else "dropped"
+        print(
+            f"  query {victim}: {verdict} "
+            f"(perturbation_resolve={outcome.perturbation_resolve})"
+        )
+    print()
+    snapshot = print_counters(
+        "solver counters for the failure round (warm re-solves):",
+        planner.solver_counters(),
+        snapshot,
+    )
+
+    # Re-plan one survivor in place, twice.  The first round solves on the
+    # degraded host set for the first time and *stores* its root basis;
+    # the second round's scope and host set match, so the stored basis is
+    # resumed directly (a basis-store hit + dual resume at the root).
+    survivor = next(iter(planner.allocation.admitted_queries))
+    for round_no in (1, 2):
+        planner.retire(survivor)
+        outcome = planner.resubmit(catalog.get_query(survivor))
+        print(
+            f"in-place re-plan #{round_no} of query {survivor}: "
+            f"admitted={outcome.admitted} "
+            f"(perturbation_resolve={outcome.perturbation_resolve})"
+        )
+        snapshot = print_counters(
+            f"solver counters for in-place re-plan #{round_no}:",
+            planner.solver_counters(),
+            snapshot,
+        )
+
+    stats = planner.reuse_stats
+    print(
+        f"model reuse: {stats['hits']} hits / {stats['misses']} misses; "
+        f"basis store: {stats['basis_hits']} hits / "
+        f"{stats['basis_misses']} misses"
+    )
+    print()
+
+    violations = planner.allocation.validate()
+    print("allocation constraint check:", "OK" if not violations else violations)
+
+
+if __name__ == "__main__":
+    main()

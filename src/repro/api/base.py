@@ -159,6 +159,8 @@ _EXTRA_DEFAULTS: Dict[str, Any] = {
     "reuse_exact": False,
     "reuse_partial": False,
     "reuse_overlapping_queries": 0,
+    "solver_counters": None,
+    "perturbation_resolve": False,
 }
 
 
@@ -322,6 +324,26 @@ class PlannerStats:
             return 0.0
         return sum(o.planning_time for o in outcomes) / len(outcomes)
 
+    def solver_counters(self) -> Dict[str, int]:
+        """Summed simplex counters over all recorded outcomes.
+
+        Outcomes of one planning round (a batch, or stage A + stage B of a
+        two-stage solve) share a single counters dict, so aggregation
+        dedupes by object identity — a batch of ten queries counts its
+        solve once.  Empty when no outcome carries counters (non-MILP
+        planners, scipy backends).
+        """
+        totals: Dict[str, int] = {}
+        seen: set = set()
+        for outcome in self._outcomes_snapshot():
+            counters = outcome.extras.get("solver_counters")
+            if not counters or id(counters) in seen:
+                continue
+            seen.add(id(counters))
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
 
 class Planner(PlannerStats, ABC):
     """Abstract base class every query planner implements.
@@ -359,6 +381,21 @@ class Planner(PlannerStats, ABC):
     @abstractmethod
     def submit(self, query: Union[Query, QueryWorkloadItem]) -> PlanningOutcome:
         """Plan one query and return its outcome."""
+
+    def resubmit(
+        self,
+        query: Union[Query, QueryWorkloadItem],
+        time_limit: Optional[float] = None,
+    ) -> PlanningOutcome:
+        """Re-plan a query the system already knows (churn victim, retry).
+
+        Admission decisions are identical to :meth:`submit`; the distinction
+        lets planners route perturbation re-solves through a warm-start path
+        (the SQPR planner resumes the incumbent simplex basis with the dual
+        simplex) and lets metrics separate re-plan cost from first-admission
+        cost.  The default simply delegates to :meth:`submit`.
+        """
+        return self.submit(query)
 
     def submit_batch(
         self,

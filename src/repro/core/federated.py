@@ -465,12 +465,12 @@ class FederatedPlanner(Planner):
     @property
     def reuse_stats(self) -> Dict[str, int]:
         """Model-reuse hits/misses summed over the shards + coordinator."""
-        totals = {"hits": 0, "misses": 0}
+        totals = {"hits": 0, "misses": 0, "basis_hits": 0, "basis_misses": 0}
         for planner in self._inner_planners():
             stats = getattr(planner, "reuse_stats", None)
             if stats:
-                totals["hits"] += stats.get("hits", 0)
-                totals["misses"] += stats.get("misses", 0)
+                for key in totals:
+                    totals[key] += stats.get(key, 0)
         return totals
 
     def shard_stats(self) -> Dict[Union[int, str], Dict[str, int]]:

@@ -68,6 +68,10 @@ class SQPRPlanner(Planner):
         # Last applied solution, keyed by variable *name* so it survives
         # model rebuilds: names like "y[h,s]" are stable across rounds.
         self._last_values: Dict[str, float] = {}
+        # True while a churn/repair path re-submits an already-known query
+        # (see resubmit); tagged onto outcome extras so re-plan cost can be
+        # separated from first-admission cost in metrics.
+        self._resubmitting = False
         self._subplan_index: Optional[SubPlanIndex] = (
             SubPlanIndex(catalog) if self.config.reuse_index else None
         )
@@ -107,8 +111,19 @@ class SQPRPlanner(Planner):
 
     @property
     def reuse_stats(self) -> Dict[str, int]:
-        """Model-reuse cache counters (hits/misses) for this planner."""
-        return {"hits": self._reuse_cache.hits, "misses": self._reuse_cache.misses}
+        """Model-reuse cache counters for this planner.
+
+        ``hits``/``misses`` count whole-model reuse; ``basis_hits``/
+        ``basis_misses`` count incumbent simplex bases handed to the solver
+        for dual-simplex warm re-planning (only the branch-and-bound
+        backend consumes them).
+        """
+        return {
+            "hits": self._reuse_cache.hits,
+            "misses": self._reuse_cache.misses,
+            "basis_hits": self._reuse_cache.basis_hits,
+            "basis_misses": self._reuse_cache.basis_misses,
+        }
 
     @property
     def subplan_stats(self) -> Dict[str, int]:
@@ -161,6 +176,26 @@ class SQPRPlanner(Planner):
         """Plan a single new query (Algorithm 1) and return the outcome."""
         outcomes = self.submit_batch([query], time_limit=time_limit)
         return outcomes[0]
+
+    def resubmit(
+        self,
+        query: Union[Query, QueryWorkloadItem],
+        time_limit: Optional[float] = None,
+    ) -> PlanningOutcome:
+        """Re-plan a query after a perturbation (churn, eviction, drift).
+
+        Identical decisions to :meth:`submit`; the solve is a perturbation
+        re-solve of a model structure the planner has typically already
+        seen, so the incumbent-basis store usually turns it into a
+        dual-simplex warm start.  The outcome is tagged with
+        ``perturbation_resolve=True`` so metrics can separate re-plan cost
+        from first-admission cost.
+        """
+        self._resubmitting = True
+        try:
+            return self.submit(query, time_limit=time_limit)
+        finally:
+            self._resubmitting = False
 
     def submit_batch(
         self,
@@ -221,6 +256,31 @@ class SQPRPlanner(Planner):
         return self._record_many(ordered)
 
     # ---------------------------------------------------------------- planning
+    def _basis_key(self, scope, frozen_mode: bool, force_admission: bool) -> tuple:
+        """Structure key for the incumbent-basis store.
+
+        Covers everything that shapes the standard form's row/column layout
+        (scope sets, build flags, host set) but deliberately *not* the
+        allocation fingerprint — bound/RHS drift between rounds is exactly
+        what the dual simplex absorbs.  Allocation changes that do alter
+        the row structure make the stored basis dimensionally stale, which
+        the LP engine detects and discards on install.
+        """
+        return (
+            frozen_mode,
+            force_admission,
+            self.config.allow_relay,
+            self.config.max_relay_hops,
+            scope.streams,
+            scope.operators,
+            scope.keep_provided,
+            scope.replanned_queries,
+            frozenset(
+                self.catalog.get_query(qid).result_stream for qid in scope.new_queries
+            ),
+            tuple(self.catalog.host_ids),
+        )
+
     def _solve_stage(
         self,
         queries: List[Query],
@@ -268,7 +328,21 @@ class SQPRPlanner(Planner):
             built.model.set_warm_start(hint)
         else:
             built.model.set_warm_start({})
+        basis_key = None
+        if self.config.warm_start:
+            # Dual-simplex warm start: resume the root relaxation from the
+            # incumbent basis of the last solve with this model structure
+            # (a perturbation re-solve after churn, a retry, a stage-B
+            # forced-admission variant of a structure seen before).
+            basis_key = self._basis_key(
+                scope, frozen_mode, build_kwargs["force_admission"]
+            )
+            built.model.set_basis_hint(self._reuse_cache.basis_for(basis_key))
+        else:
+            built.model.set_basis_hint(None)
         result = self.solver.solve(built.model, time_limit=time_limit)
+        if basis_key is not None and getattr(result, "root_basis", None) is not None:
+            self._reuse_cache.store_basis(basis_key, result.root_basis)
         return scope, built, result, reused
 
     def _apply_if_admitting(self, built, result) -> frozenset:
@@ -368,6 +442,16 @@ class SQPRPlanner(Planner):
         replan = self.config.replan_overlapping
         use_two_stage = self.config.two_stage and replan
 
+        # One counters dict is shared by every outcome of this planning
+        # round (stage A + stage B summed); consumers that aggregate over
+        # outcomes dedupe by object identity so a batch is not multiple-
+        # counted.
+        solver_counters: Dict[str, int] = {}
+
+        def merge_counters(result) -> None:
+            for key, value in (getattr(result, "lp_counters", None) or {}).items():
+                solver_counters[key] = solver_counters.get(key, 0) + value
+
         admitted_ids: frozenset = frozenset()
         if use_two_stage:
             # Stage A: a small greedy-reuse model (existing structures frozen).
@@ -378,6 +462,7 @@ class SQPRPlanner(Planner):
                 replan_overlapping=False,
                 time_limit=stage_a_limit,
             )
+            merge_counters(result)
             admitted_ids = self._apply_if_admitting(built, result)
             rejected = self._relocation_candidates(
                 [
@@ -406,6 +491,7 @@ class SQPRPlanner(Planner):
                     time_limit=remaining,
                     force_admission=True,
                 )
+                merge_counters(result)
                 admitted_ids = admitted_ids | self._apply_if_admitting(
                     built, result
                 )
@@ -416,6 +502,7 @@ class SQPRPlanner(Planner):
                 replan_overlapping=replan,
                 time_limit=time_limit,
             )
+            merge_counters(result)
             admitted_ids = self._apply_if_admitting(built, result)
 
         elapsed = watch.elapsed()
@@ -438,6 +525,8 @@ class SQPRPlanner(Planner):
                         "scope_operators": scope.num_operators,
                         "reused_model": reused,
                         "warm_seeded": bool(built.model.warm_start),
+                        "solver_counters": solver_counters,
+                        "perturbation_resolve": self._resubmitting,
                     },
                 )
             )

@@ -24,7 +24,12 @@ from repro.milp.constraint import Constraint, ConstraintSense
 from repro.milp.model import Model, ObjectiveSense
 from repro.milp.solver import MilpSolver, SolverBackend
 from repro.milp.result import SolveResult, SolveStatus
-from repro.milp.simplex import LpSolution, SimplexBasis
+from repro.milp.simplex import (
+    LpSolution,
+    SimplexBasis,
+    SolverCounters,
+    SOLVER_COUNTER_FIELDS,
+)
 from repro.milp.sparse import CsrMatrix
 
 __all__ = [
@@ -42,5 +47,7 @@ __all__ = [
     "SolveStatus",
     "LpSolution",
     "SimplexBasis",
+    "SolverCounters",
+    "SOLVER_COUNTER_FIELDS",
     "CsrMatrix",
 ]

@@ -38,7 +38,7 @@ import numpy as np
 from repro.milp.lp_backend import solve_lp
 from repro.milp.model import Model
 from repro.milp.result import SolveResult, SolveStatus
-from repro.milp.simplex import SimplexBasis
+from repro.milp.simplex import SimplexBasis, SolverCounters
 from repro.milp.standard_form import StandardForm, to_standard_form
 from repro.utils.timer import Deadline
 
@@ -139,9 +139,12 @@ def _search(
 ) -> SolveResult:
     c, a_ub, b_ub, a_eq, b_eq = form.c, form.a_ub, form.b_ub, form.a_eq, form.b_eq
     integrality = form.integrality
+    # Summed over every node LP (the simplex engine reports per-solve
+    # counters; scipy/dense report none and contribute nothing).
+    counters = SolverCounters()
 
     def lp(lower: np.ndarray, upper: np.ndarray, warm: Optional[SimplexBasis] = None):
-        return solve_lp(
+        solution = solve_lp(
             c,
             a_ub,
             b_ub,
@@ -152,14 +155,22 @@ def _search(
             engine=options.lp_engine,
             warm_basis=warm if options.warm_start else None,
         )
+        if solution.counters is not None:
+            counters.add(solution.counters)
+        return solution
 
-    root = lp(form.lower, form.upper)
+    # The root relaxation resumes from the model's basis hint when one is
+    # attached (the planner feeds back the previous solve's root basis, so a
+    # perturbation re-solve starts with one dual-simplex walk instead of a
+    # full primal phase 1).
+    root = lp(form.lower, form.upper, warm=model.basis_hint)
     if root.status == "infeasible":
-        return SolveResult(SolveStatus.INFEASIBLE)
+        return SolveResult(SolveStatus.INFEASIBLE, lp_counters=counters.to_dict())
     if root.status == "unbounded":
-        return SolveResult(SolveStatus.UNBOUNDED)
+        return SolveResult(SolveStatus.UNBOUNDED, lp_counters=counters.to_dict())
     if not root.is_optimal:
-        return SolveResult(SolveStatus.ERROR)
+        return SolveResult(SolveStatus.ERROR, lp_counters=counters.to_dict())
+    root_basis = root.basis
 
     # Only the most recent solution keeps its basis *inverse* (so the next
     # node — usually a child of the node just solved — warm-starts without
@@ -262,8 +273,12 @@ def _search(
     if incumbent_x is None:
         if hit_limit or subtree_lost:
             # Without a full tree walk there is no infeasibility proof.
-            return SolveResult(SolveStatus.TIMEOUT, nodes=nodes_processed)
-        return SolveResult(SolveStatus.INFEASIBLE, nodes=nodes_processed)
+            return SolveResult(
+                SolveStatus.TIMEOUT, nodes=nodes_processed, lp_counters=counters.to_dict()
+            )
+        return SolveResult(
+            SolveStatus.INFEASIBLE, nodes=nodes_processed, lp_counters=counters.to_dict()
+        )
 
     # The incumbent is optimal when the search tree was exhausted or the
     # best remaining bound came within the configured gap of the incumbent —
@@ -282,4 +297,6 @@ def _search(
         values=values,
         bound=model_bound,
         nodes=nodes_processed,
+        lp_counters=counters.to_dict(),
+        root_basis=root_basis,
     )

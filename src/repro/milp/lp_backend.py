@@ -54,6 +54,7 @@ def solve_lp(
     upper: np.ndarray,
     engine: str = "auto",
     warm_basis: Optional[SimplexBasis] = None,
+    method: str = "auto",
 ) -> LpSolution:
     """Minimise ``c @ x`` subject to the given system.
 
@@ -67,6 +68,10 @@ def solve_lp(
     warm_basis:
         Optional :class:`SimplexBasis` from a previous solve of the same
         system; used by the ``simplex`` engine only.
+    method:
+        How the simplex engine resumes a warm basis: ``"auto"`` (dual
+        simplex first, then primal repair), ``"dual"`` or ``"primal"``.
+        Ignored by the other engines.
     """
     if engine not in _ENGINES:
         raise SolverError(f"unknown LP engine {engine!r}")
@@ -80,7 +85,9 @@ def solve_lp(
         a_ub = a_ub.toarray() if isinstance(a_ub, CsrMatrix) else np.asarray(a_ub, dtype=float)
         a_eq = a_eq.toarray() if isinstance(a_eq, CsrMatrix) else np.asarray(a_eq, dtype=float)
         return solve_lp_dense(c, a_ub.reshape(-1, n), b_ub, a_eq.reshape(-1, n), b_eq, lower, upper)
-    return solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper, warm_basis=warm_basis)
+    return solve_lp_simplex(
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper, warm_basis=warm_basis, method=method
+    )
 
 
 def _to_scipy_matrix(matrix, num_cols: int):

@@ -48,12 +48,20 @@ class MilpSolver:
         Let the branch-and-bound backend seed its incumbent from the
         model's warm-start hint and re-start child-node LPs from the parent
         basis.  HiGHS ignores this (scipy exposes no warm-start API).
+    lp_engine:
+        LP relaxation engine for the branch-and-bound backend (``"auto"``,
+        ``"scipy"``, ``"simplex"``, ``"dense"`` — see
+        :func:`repro.milp.lp_backend.solve_lp`).  Pin ``"simplex"`` to get
+        dual-simplex warm starts, basis hand-back (``SolveResult.root_basis``)
+        and solver counters in environments where scipy would otherwise be
+        auto-selected.  HiGHS ignores this.
     """
 
     backend: SolverBackend = SolverBackend.AUTO
     time_limit: Optional[float] = None
     mip_gap: float = 1e-6
     warm_start: bool = True
+    lp_engine: str = "auto"
 
     def resolved_backend(self) -> SolverBackend:
         """The concrete backend that will be used for the next solve."""
@@ -75,7 +83,10 @@ class MilpSolver:
                 raise SolverError("HiGHS backend requested but scipy.optimize.milp is missing")
             return solve_with_highs(model, time_limit=limit, mip_rel_gap=self.mip_gap)
         options = BnbOptions(
-            time_limit=limit, relative_gap=self.mip_gap, warm_start=self.warm_start
+            time_limit=limit,
+            relative_gap=self.mip_gap,
+            warm_start=self.warm_start,
+            lp_engine=self.lp_engine,
         )
         return solve_branch_and_bound(model, options)
 

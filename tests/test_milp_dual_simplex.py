@@ -1,0 +1,390 @@
+"""Dual-simplex warm starts, Devex pricing and solver counters.
+
+The contract under test: a warm re-solve of a *perturbed* system (changed
+bounds and right-hand sides over the same rows/columns) resumed with the
+dual simplex returns exactly the optimum a cold primal solve returns, which
+in turn matches the dense reference tableau — and steepest-edge (Devex)
+pricing reaches the same optimum as Dantzig pricing, including on
+degenerate and fixed-variable LPs.  The hypothesis sections drive these
+equivalences over random instances; the unit sections pin the counters,
+the repair budget and the fallback reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.milp.dense_simplex import solve_lp_dense
+from repro.milp.simplex import (
+    SimplexBasis,
+    SolverCounters,
+    SOLVER_COUNTER_FIELDS,
+    _repair_warm_start,
+    solve_lp_simplex,
+)
+
+common_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_lp(seed: int, n: int = 10, m_ub: int = 6, m_eq: int = 2):
+    """A bounded LP with a guaranteed-feasible interior point."""
+    rng = np.random.default_rng(seed)
+    a_ub = rng.normal(size=(m_ub, n)) * (rng.random((m_ub, n)) < 0.6)
+    a_eq = rng.normal(size=(m_eq, n)) * (rng.random((m_eq, n)) < 0.7)
+    x0 = rng.uniform(0.2, 0.8, n)
+    b_ub = a_ub @ x0 + rng.uniform(0.05, 0.8, m_ub)
+    b_eq = a_eq @ x0
+    c = rng.normal(size=n)
+    lower = np.zeros(n)
+    upper = np.ones(n)
+    return c, a_ub, b_ub, a_eq, b_eq, lower, upper
+
+
+def _perturb(seed: int, b_ub, b_eq, lower, upper):
+    """Random bound tightenings + RHS shifts (may make the LP infeasible)."""
+    rng = np.random.default_rng(seed)
+    n = len(lower)
+    upper2 = upper.copy()
+    upper2[rng.integers(0, n, max(1, n // 4))] = 0.0
+    b_ub2 = b_ub - rng.uniform(0.0, 0.5, len(b_ub))
+    b_eq2 = b_eq + rng.normal(scale=0.1, size=len(b_eq))
+    return b_ub2, b_eq2, lower, upper2
+
+
+def _assert_same_optimum(a, b, label):
+    assert a.status == b.status, f"{label}: {a.status} != {b.status}"
+    if a.status == "optimal":
+        scale = max(1.0, abs(a.objective))
+        assert abs(a.objective - b.objective) < 1e-6 * scale, (
+            f"{label}: {a.objective} != {b.objective}"
+        )
+
+
+class TestDualWarmEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @common_settings
+    def test_dual_warm_resolve_matches_cold_and_dense(self, seed):
+        """Perturbed re-solve: dual warm == cold primal == dense oracle."""
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(seed)
+        base = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        assert base.status == "optimal"
+        b_ub2, b_eq2, lower2, upper2 = _perturb(seed + 1, b_ub, b_eq, lower, upper)
+
+        cold = solve_lp_simplex(c, a_ub, b_ub2, a_eq, b_eq2, lower2, upper2)
+        warm = solve_lp_simplex(
+            c, a_ub, b_ub2, a_eq, b_eq2, lower2, upper2, warm_basis=base.basis
+        )
+        dense = solve_lp_dense(c, a_ub, b_ub2, a_eq, b_eq2, lower2, upper2)
+        _assert_same_optimum(cold, warm, "warm vs cold")
+        _assert_same_optimum(cold, dense, "cold vs dense")
+        assert warm.warm_status in ("dual_resume", "warm_repair", "cold_fallback")
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @common_settings
+    def test_method_dual_matches_method_primal(self, seed):
+        """The resume method changes the pivot path, never the optimum."""
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(seed)
+        base = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        b_ub2, b_eq2, lower2, upper2 = _perturb(seed + 2, b_ub, b_eq, lower, upper)
+        dual = solve_lp_simplex(
+            c, a_ub, b_ub2, a_eq, b_eq2, lower2, upper2,
+            warm_basis=base.basis, method="dual",
+        )
+        primal = solve_lp_simplex(
+            c, a_ub, b_ub2, a_eq, b_eq2, lower2, upper2,
+            warm_basis=base.basis.copy(), method="primal",
+        )
+        _assert_same_optimum(dual, primal, "dual vs primal resume")
+
+    def test_typical_perturbation_takes_the_dual_path(self):
+        """Mild bound/RHS drift resumes via the dual simplex, not a repair."""
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(42)
+        base = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        warm = solve_lp_simplex(
+            c, a_ub, b_ub * 0.97, a_eq, b_eq, lower, upper, warm_basis=base.basis
+        )
+        assert warm.status == "optimal"
+        assert warm.warm_status == "dual_resume"
+        assert warm.counters.dual_resumes == 1
+        assert warm.counters.phase1_iterations == 0
+
+    def test_infeasible_perturbation_agrees_with_cold(self):
+        """A dual infeasibility certificate matches the cold verdict."""
+        n = 6
+        c = -np.ones(n)
+        a_ub = np.ones((1, n))
+        b_ub = np.array([3.0])
+        no_eq = np.zeros((0, n))
+        lower = np.zeros(n)
+        upper = np.ones(n)
+        base = solve_lp_simplex(c, a_ub, b_ub, no_eq, np.zeros(0), lower, upper)
+        assert base.status == "optimal"
+        # Force sum(x) <= -1 with x >= 0: clearly infeasible.
+        warm = solve_lp_simplex(
+            c, a_ub, np.array([-1.0]), no_eq, np.zeros(0), lower, upper,
+            warm_basis=base.basis,
+        )
+        cold = solve_lp_simplex(
+            c, a_ub, np.array([-1.0]), no_eq, np.zeros(0), lower, upper
+        )
+        assert warm.status == cold.status == "infeasible"
+
+
+class TestPricingEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @common_settings
+    def test_devex_matches_dantzig_on_degenerate_lps(self, seed):
+        """Fixed variables + duplicated rows (degeneracy): same optimum."""
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(seed)
+        rng = np.random.default_rng(seed + 3)
+        # Fix a few variables (lb == ub) and duplicate a row to create a
+        # degenerate vertex.
+        fixed = rng.integers(0, len(c), 3)
+        upper = upper.copy()
+        upper[fixed] = lower[fixed]
+        a_ub = np.vstack([a_ub, a_ub[:1]])
+        b_ub = np.concatenate([b_ub, b_ub[:1]])
+        devex = solve_lp_simplex(
+            c, a_ub, b_ub, a_eq, b_eq, lower, upper, pricing="devex"
+        )
+        dantzig = solve_lp_simplex(
+            c, a_ub, b_ub, a_eq, b_eq, lower, upper, pricing="dantzig"
+        )
+        _assert_same_optimum(devex, dantzig, "devex vs dantzig")
+
+    def test_partial_pricing_matches_full_on_wide_lp(self):
+        """A >256-column model (partial windows active) stays exact."""
+        rng = np.random.default_rng(11)
+        n, m = 420, 40
+        a = np.zeros((m, n))
+        for i in range(m):
+            cols = rng.choice(n, size=6, replace=False)
+            a[i, cols] = rng.normal(size=6)
+        x0 = rng.uniform(0, 1, n)
+        b = a @ x0 + rng.uniform(0.1, 1.0, m)
+        c = rng.normal(size=n)
+        no_eq = np.zeros((0, n))
+        devex = solve_lp_simplex(
+            c, a, b, no_eq, np.zeros(0), np.zeros(n), np.ones(n), pricing="devex"
+        )
+        dantzig = solve_lp_simplex(
+            c, a, b, no_eq, np.zeros(0), np.zeros(n), np.ones(n), pricing="dantzig"
+        )
+        _assert_same_optimum(devex, dantzig, "partial devex vs dantzig")
+        # Partial pricing must have avoided pricing the full span every
+        # iteration: fewer full passes than iterations.
+        assert devex.counters.pricing_passes < devex.iterations
+
+    def test_unknown_pricing_and_method_raise(self):
+        c = np.zeros(2)
+        args = (c, np.zeros((0, 2)), np.zeros(0), np.zeros((0, 2)), np.zeros(0),
+                np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            solve_lp_simplex(*args, pricing="steepest")
+        with pytest.raises(ValueError):
+            solve_lp_simplex(*args, method="barrier")
+
+
+class TestCountersAndRepairBudget:
+    def test_counters_present_and_consistent(self):
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(1)
+        sol = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        assert sol.counters is not None
+        d = sol.counters.to_dict()
+        assert set(d) == set(SOLVER_COUNTER_FIELDS)
+        assert all(v >= 0 for v in d.values())
+        assert sol.warm_status == ""  # no warm basis was supplied
+        # A cold solve of this (infeasible-at-origin) system runs phase 1.
+        assert d["phase1_iterations"] > 0
+        assert d["refactorisations"] >= 0
+
+    def test_counters_add(self):
+        a = SolverCounters(primal_iterations=2, dual_resumes=1)
+        b = SolverCounters(primal_iterations=3, bound_flips=4)
+        a.add(b)
+        assert a.primal_iterations == 5
+        assert a.bound_flips == 4
+        assert a.dual_resumes == 1
+
+    def test_garbage_basis_reports_cold_fallback(self):
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(2)
+        m = len(b_ub) + len(b_eq)
+        num_cols = len(c) + len(b_ub) + m
+        garbage = SimplexBasis(
+            basic=np.zeros(m, dtype=np.int64),  # singular: one column m times
+            at_upper=np.zeros(num_cols, dtype=bool),
+        )
+        sol = solve_lp_simplex(
+            c, a_ub, b_ub, a_eq, b_eq, lower, upper, warm_basis=garbage
+        )
+        cold = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        _assert_same_optimum(cold, sol, "garbage warm vs cold")
+        assert sol.warm_status == "cold_fallback"
+        assert sol.counters.cold_fallbacks == 1
+
+    def test_repair_budget_is_bounded(self):
+        """The composite repair cannot exceed its explicit iteration budget."""
+
+        class _StubEngine:
+            m = 10
+            iterations = 0
+            max_iter = 10_000
+            counters = SolverCounters()
+
+            def infeasibility(self):
+                return 1.0  # permanently violated
+
+            lb = np.zeros(1)
+            ub = np.ones(1)
+            num_cols = 1
+            basic = np.zeros(1, dtype=np.int64)
+            x_basic = np.full(1, 5.0)
+
+            def run(self, cost, phase1=False):
+                # Burn the whole allowance the caller granted us.
+                self.iterations = self.max_iter
+                return "iteration_limit"
+
+            def recompute_basic_values(self):
+                pass
+
+            at_upper = np.zeros(1, dtype=bool)
+
+        engine = _StubEngine()
+        assert _repair_warm_start(engine, iteration_budget=37) is False
+        assert engine.iterations <= 37
+        assert engine.counters.repair_iterations == 37
+        assert engine.max_iter == 10_000  # restored
+
+    def test_weights_ride_along_on_the_basis(self):
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper = _random_lp(4)
+        sol = solve_lp_simplex(c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+        assert sol.basis is not None
+        assert sol.basis.weights is not None
+        copied = sol.basis.copy()
+        assert copied.weights is not None
+        assert copied.weights is not sol.basis.weights
+        # Feeding the weights back must not change the optimum.
+        warm = solve_lp_simplex(
+            c, a_ub, b_ub * 0.98, a_eq, b_eq, lower, upper, warm_basis=copied
+        )
+        cold = solve_lp_simplex(c, a_ub, b_ub * 0.98, a_eq, b_eq, lower, upper)
+        _assert_same_optimum(cold, warm, "weights warm vs cold")
+
+
+class TestBranchAndBoundIntegration:
+    def _knapsack(self, cap, seed=9):
+        from repro.milp import Model, ObjectiveSense
+
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 20, 16)
+        weights = rng.integers(1, 10, 16)
+        model = Model("knap", ObjectiveSense.MAXIMIZE)
+        xs = [model.add_binary(f"x{i}") for i in range(16)]
+        model.set_objective(sum(int(v) * x for v, x in zip(values, xs)))
+        model.add_constr(sum(int(w) * x for w, x in zip(weights, xs)) <= cap)
+        return model
+
+    def test_bnb_children_resume_via_dual_simplex(self):
+        from repro.milp.branch_and_bound import BnbOptions, solve_branch_and_bound
+
+        result = solve_branch_and_bound(
+            self._knapsack(30), BnbOptions(lp_engine="simplex")
+        )
+        assert result.lp_counters["dual_resumes"] > 0
+        assert result.root_basis is not None
+
+    def test_basis_hint_warm_equals_cold(self):
+        from repro.milp.branch_and_bound import BnbOptions, solve_branch_and_bound
+
+        opts = BnbOptions(lp_engine="simplex")
+        first = solve_branch_and_bound(self._knapsack(30), opts)
+        hinted = self._knapsack(26)
+        hinted.set_basis_hint(first.root_basis)
+        warm = solve_branch_and_bound(hinted, opts)
+        cold = solve_branch_and_bound(self._knapsack(26), opts)
+        assert warm.objective == cold.objective
+        assert warm.status == cold.status
+
+    def test_warm_start_off_ignores_basis_hint(self):
+        from repro.milp.branch_and_bound import BnbOptions, solve_branch_and_bound
+
+        first = solve_branch_and_bound(
+            self._knapsack(30), BnbOptions(lp_engine="simplex")
+        )
+        hinted = self._knapsack(26)
+        hinted.set_basis_hint(first.root_basis)
+        off = solve_branch_and_bound(
+            hinted, BnbOptions(lp_engine="simplex", warm_start=False)
+        )
+        cold = solve_branch_and_bound(
+            self._knapsack(26), BnbOptions(lp_engine="simplex", warm_start=False)
+        )
+        assert off.objective == cold.objective
+        assert off.lp_counters["dual_resumes"] == 0
+
+
+class TestPlannerBasisStore:
+    def test_resubmit_after_eviction_reuses_the_basis(self):
+        """A churn-style retire + resubmit hits the incumbent-basis store."""
+        from repro.api import PlannerConfig
+        from repro.core.planner import SQPRPlanner
+        from repro.milp import MilpSolver, SolverBackend
+        from tests.conftest import make_catalog, query_over
+
+        catalog = make_catalog(num_hosts=3, cpu=4.0, num_base=4, rate=2.0)
+        config = PlannerConfig(
+            time_limit=5.0,
+            backend=SolverBackend.BRANCH_AND_BOUND,
+            validate_after_apply=True,
+        )
+        # Pin the in-repo simplex so counters/bases flow even where scipy
+        # would be auto-selected.
+        solver = MilpSolver(
+            backend=SolverBackend.BRANCH_AND_BOUND,
+            time_limit=5.0,
+            lp_engine="simplex",
+        )
+        planner = SQPRPlanner(catalog, config=config, solver=solver)
+        query = catalog.register_query(query_over("b0", "b1"))
+        first = planner.submit(query)
+        assert first.admitted
+        assert planner.reuse_stats["basis_misses"] >= 1
+        planner.retire(query.query_id)
+        outcome = planner.resubmit(query)
+        assert outcome.admitted
+        assert outcome.extras["perturbation_resolve"] is True
+        assert planner.reuse_stats["basis_hits"] >= 1
+        counters = planner.solver_counters()
+        assert counters  # the B&B backend reported simplex counters
+        assert counters.get("primal_iterations", 0) + counters.get(
+            "dual_iterations", 0
+        ) > 0
+
+    def test_solver_counters_dedupe_shared_dicts(self):
+        from repro.api.base import PlannerStats, PlanningOutcome
+        from repro.dsps.query import Query
+
+        stats = PlannerStats()
+        query = Query(
+            query_id=1,
+            result_stream=0,
+            base_streams=frozenset(),
+            candidate_streams=frozenset(),
+            candidate_operators=frozenset(),
+        )
+        shared = {"dual_resumes": 3}
+        stats.outcomes = [
+            PlanningOutcome(query=query, admitted=True, extras={"solver_counters": shared}),
+            PlanningOutcome(query=query, admitted=True, extras={"solver_counters": shared}),
+            PlanningOutcome(
+                query=query, admitted=False, extras={"solver_counters": {"dual_resumes": 2}}
+            ),
+        ]
+        assert stats.solver_counters() == {"dual_resumes": 5}

@@ -138,7 +138,12 @@ class TestModelReuseCache:
     def test_reset_clears_reuse_state(self):
         planner, _ = _run_workload("sqpr", reuse=True)
         planner.reset()
-        assert planner.reuse_stats == {"hits": 0, "misses": 0}
+        assert planner.reuse_stats == {
+            "hits": 0,
+            "misses": 0,
+            "basis_hits": 0,
+            "basis_misses": 0,
+        }
         assert planner._last_values == {}
 
     def test_disabled_reuse_never_hits(self):
