@@ -1,0 +1,212 @@
+"""Benchmark "Figure 14": true multicore planning via the process backend.
+
+Two workloads, three execution backends each:
+
+* **federated batch** — a 6-site federated catalog planned by
+  ``federated:sqpr`` with its per-site shard groups fanned out serially,
+  on the GIL-bound thread pool, and on the persistent fork-worker
+  process pool (warm shard replicas, delta-synced);
+* **matrix sweep** — the quick-scale scenario matrix executed with
+  per-cell process isolation vs threads vs serial.
+
+For every backend and worker count the report records wall-clock and —
+the load-bearing assertion on *every* machine — that admission
+decisions and allocation fingerprints are bit-identical to the serial
+reference.  The ≥``MIN_PROCESS_SPEEDUP``× process-over-serial speedup at
+4 workers is asserted only when the machine actually has ≥ 4 CPU cores
+(the pool cannot beat the GIL on a single-core box); ``cpu_count`` is
+recorded in the artifact so CI readers can interpret the ratios.
+
+The report is written to ``BENCH_parallel.json`` at the repository root
+(format documented in ``docs/benchmarks.md``).  Set
+``PARALLEL_BENCH_QUICK=1`` for the smaller CI mode and
+``PARALLEL_BENCH_OUT`` to redirect the report.  No pytest-benchmark
+plugin needed:
+
+    pytest benchmarks/test_fig14_parallel_planning.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import create_planner
+from repro.experiments.federated import federated_scenario, site_local_workload
+from repro.experiments.matrix import run_matrix
+from repro.utils.pool import process_backend_available
+
+NUM_SITES = 6
+QUERIES_PER_SITE_FULL = 5
+QUERIES_PER_SITE_QUICK = 3
+SEED = 7
+
+FULL_WORKER_COUNTS = [1, 2, 4]
+QUICK_WORKER_COUNTS = [2]
+
+MATRIX_SCENARIOS = ["baseline", "flash_crowd", "reuse_heavy"]
+MATRIX_PLANNERS = ["heuristic", "sqpr"]
+
+#: Required process-over-serial speedup at the widest pool — asserted
+#: only on machines with >= MIN_CORES_FOR_SPEEDUP cores.
+MIN_PROCESS_SPEEDUP = 2.0
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def _federated_run(backend, workers, queries_per_site):
+    scenario = federated_scenario(NUM_SITES, seed=SEED)
+    catalog = scenario.build_catalog()
+    workload = site_local_workload(
+        scenario, queries_per_site=queries_per_site
+    )
+    planner = create_planner(
+        "federated:sqpr", catalog, workers=workers, backend=backend
+    )
+    try:
+        if backend == "process":
+            # Fork the pool before the clock starts: pool creation is a
+            # one-time cost a long-running service amortises away, while
+            # the per-batch delta-sync protocol stays inside the timing.
+            planner._ensure_pool()
+        start = time.perf_counter()
+        outcomes = planner.submit_batch(workload)
+        elapsed = time.perf_counter() - start
+        decisions = tuple(
+            (o.query.query_id, o.admitted) for o in outcomes
+        )
+        fingerprint = planner.allocation.fingerprint()
+        stats = planner.worker_stats()
+    finally:
+        planner.close()
+    return {
+        "elapsed": elapsed,
+        "decisions": decisions,
+        "fingerprint": fingerprint,
+        "admitted": sum(1 for _, admitted in decisions if admitted),
+        "worker_stats": stats,
+    }
+
+
+def _matrix_run(backend, workers):
+    start = time.perf_counter()
+    sweep = run_matrix(
+        scenarios=MATRIX_SCENARIOS,
+        planners=MATRIX_PLANNERS,
+        scales=["quick"],
+        workers=workers,
+        backend=backend,
+    )
+    elapsed = time.perf_counter() - start
+    assert not sweep.violations()
+    return {
+        "elapsed": elapsed,
+        "fingerprints": sweep.fingerprints(),
+        "num_cells": len(sweep.artifacts),
+    }
+
+
+@pytest.mark.skipif(
+    not process_backend_available(), reason="process backend needs fork"
+)
+def test_fig14_parallel_planning_report():
+    quick = bool(os.environ.get("PARALLEL_BENCH_QUICK"))
+    worker_counts = QUICK_WORKER_COUNTS if quick else FULL_WORKER_COUNTS
+    queries_per_site = (
+        QUERIES_PER_SITE_QUICK if quick else QUERIES_PER_SITE_FULL
+    )
+    out_path = Path(
+        os.environ.get(
+            "PARALLEL_BENCH_OUT",
+            Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        )
+    )
+    cpu_count = os.cpu_count() or 1
+
+    # ------------------------------------------------------ federated batch
+    serial = _federated_run("serial", None, queries_per_site)
+    federated = {
+        "serial": {
+            "run_seconds": round(serial["elapsed"], 3),
+            "admitted": serial["admitted"],
+        }
+    }
+    for backend in ("thread", "process"):
+        federated[backend] = {}
+        for workers in worker_counts:
+            run = _federated_run(backend, workers, queries_per_site)
+            # The tentpole contract, on every machine: backends change
+            # wall-clock only, never decisions or the final allocation.
+            assert run["decisions"] == serial["decisions"], (
+                f"{backend} x{workers} diverged from serial decisions"
+            )
+            assert run["fingerprint"] == serial["fingerprint"], (
+                f"{backend} x{workers} diverged from serial fingerprint"
+            )
+            entry = {
+                "run_seconds": round(run["elapsed"], 3),
+                "speedup_vs_serial": round(
+                    serial["elapsed"] / run["elapsed"], 2
+                ),
+            }
+            if backend == "process":
+                entry["worker_stats"] = run["worker_stats"]["workers"]
+            federated[backend][f"workers_{workers}"] = entry
+
+    # -------------------------------------------------------- matrix sweep
+    matrix_serial = _matrix_run("serial", 1)
+    matrix = {
+        "serial": {"run_seconds": round(matrix_serial["elapsed"], 3)}
+    }
+    widest = max(worker_counts)
+    for backend in ("thread", "process"):
+        run = _matrix_run(backend, widest)
+        assert run["fingerprints"] == matrix_serial["fingerprints"], (
+            f"matrix {backend} sweep diverged from serial"
+        )
+        matrix[backend] = {
+            "workers": widest,
+            "run_seconds": round(run["elapsed"], 3),
+            "speedup_vs_serial": round(
+                matrix_serial["elapsed"] / run["elapsed"], 2
+            ),
+        }
+    matrix["num_cells"] = matrix_serial["num_cells"]
+
+    # ------------------------------------------------------------- speedup
+    widest_key = f"workers_{widest}"
+    process_speedup = federated["process"][widest_key]["speedup_vs_serial"]
+    speedup_asserted = (
+        cpu_count >= MIN_CORES_FOR_SPEEDUP and widest >= MIN_CORES_FOR_SPEEDUP
+    )
+    if speedup_asserted:
+        assert process_speedup >= MIN_PROCESS_SPEEDUP, (
+            f"process backend at {widest} workers on {cpu_count} cores: "
+            f"{process_speedup}x < required {MIN_PROCESS_SPEEDUP}x"
+        )
+
+    report = {
+        "figure": "fig14_parallel_planning",
+        "quick_mode": quick,
+        "cpu_count": cpu_count,
+        "num_sites": NUM_SITES,
+        "queries_per_site": queries_per_site,
+        "worker_counts": worker_counts,
+        "federated_batch": federated,
+        "matrix_sweep": matrix,
+        "decisions_identical": True,
+        "fingerprints_identical": True,
+        "speedup_asserted": speedup_asserted,
+        "min_process_speedup": MIN_PROCESS_SPEEDUP,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"fig14 parallel planning: cpus={cpu_count} "
+        f"process x{widest} speedup={process_speedup}x "
+        f"(speedup {'asserted' if speedup_asserted else 'recorded only'}; "
+        "decision/fingerprint parity asserted)"
+    )
+    print(f"fig14 parallel-planning report written to {out_path}")

@@ -121,6 +121,14 @@ class PlannerConfig:
         (:func:`repro.dsps.plan.rebuild_minimal_allocation`) is the
         cross-check oracle, and both produce identical allocations and
         fingerprints.  SQPR-planner only; other planners ignore it.
+    exec_backend:
+        Execution backend for planners that fan independent work units
+        out on a pool (the federated planner's per-site shard groups):
+        ``"serial"``, ``"thread"`` (default) or ``"process"``.  The
+        process backend runs shard solves on long-lived worker processes
+        holding warm planner replicas — true multicore on the GIL-bound
+        solver core.  Decisions and allocation fingerprints are
+        identical across backends; only wall-clock differs.
     """
 
     time_limit: Optional[float] = 1.0
@@ -140,6 +148,7 @@ class PlannerConfig:
     reuse_model: bool = True
     warm_start: bool = True
     reuse_index: bool = True
+    exec_backend: str = "thread"
 
 
 #: Defaults for well-known planner-specific extras, so the legacy attribute

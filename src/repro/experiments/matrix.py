@@ -42,8 +42,10 @@ from repro.scenarios.artifacts import (
     attach_baseline,
     build_cell_artifact,
     diff_golden,
+    diff_kpi_bands,
     golden_json,
     golden_payload,
+    kpi_band_payload,
 )
 from repro.scenarios.matrix import (
     BASELINE_SCENARIO,
@@ -54,7 +56,7 @@ from repro.scenarios.matrix import (
 )
 from repro.scenarios.spec import ResolvedScenario, ScenarioSpec, parse_spec
 from repro.sim.harness import SimulationHarness, SimulationResult
-from repro.utils.pool import map_in_pool
+from repro.utils.pool import BACKENDS, map_in_pool
 
 #: The registry planners every sweep covers by default.
 DEFAULT_PLANNERS: Tuple[str, ...] = ("heuristic", "optimistic", "soda", "sqpr")
@@ -67,6 +69,9 @@ class MatrixResult:
 
     artifacts: Dict[str, CellArtifact] = field(default_factory=dict)
     results: Dict[str, SimulationResult] = field(default_factory=dict)
+    #: Scale names whose cells are excluded from the golden fingerprint
+    #: payload (non-deterministic tiers, checked by KPI bands instead).
+    nondeterministic_scales: frozenset = frozenset()
 
     def violations(self) -> List[str]:
         """One line per cell that finished with invariant violations."""
@@ -87,11 +92,29 @@ class MatrixResult:
             for cid, artifact in self.artifacts.items()
         }
 
+    def _deterministic_artifacts(self) -> Dict[str, CellArtifact]:
+        return {
+            cid: artifact
+            for cid, artifact in self.artifacts.items()
+            if artifact.scale not in self.nondeterministic_scales
+        }
+
     def golden_payload(self) -> Dict[str, Any]:
-        return golden_payload(self.artifacts)
+        """Fingerprint fixture body — deterministic-scale cells only."""
+        return golden_payload(self._deterministic_artifacts())
 
     def golden_json(self) -> str:
-        return golden_json(self.artifacts)
+        return golden_json(self._deterministic_artifacts())
+
+    def kpi_band_payload(self) -> Dict[str, Any]:
+        """KPI reference body for the non-deterministic-scale cells."""
+        return kpi_band_payload(
+            {
+                cid: artifact
+                for cid, artifact in self.artifacts.items()
+                if artifact.scale in self.nondeterministic_scales
+            }
+        )
 
     def write_artifacts(self, directory: Path) -> List[Path]:
         """Write every cell bundle plus a ``matrix_index.json`` summary."""
@@ -205,6 +228,45 @@ def run_matrix_cell(
             service.close()
 
 
+def _run_cell_task(payload):
+    """Top-level (picklable) cell runner of the process execution backend.
+
+    Each process-backend cell rebuilds its scenario object and schedule
+    from the resolved spec inside the worker — both builds are seeded
+    and deterministic, so the rebuilt schedule (and thus the cell
+    fingerprint) is identical to the parent's copy, and the whole cell
+    runs in true per-cell process isolation.
+    """
+    (
+        expression,
+        planner_name,
+        scale_name,
+        resolved,
+        planner_config,
+        through_service,
+    ) = payload
+    scenario_obj = resolved.build_scenario()
+    schedule = resolved.build_schedule(scenario_obj)
+    result = run_matrix_cell(
+        resolved,
+        scenario_obj,
+        schedule,
+        planner_name,
+        planner_config=planner_config,
+        through_service=through_service,
+    )
+    artifact = build_cell_artifact(
+        scenario=expression,
+        planner=planner_name,
+        scale=scale_name,
+        resolved=resolved,
+        schedule=schedule,
+        result=result,
+        service_replay=through_service,
+    )
+    return (expression, planner_name, scale_name), artifact, result
+
+
 def run_matrix(
     scenarios: Sequence[str] = MATRIX_REGIMES,
     planners: Sequence[str] = DEFAULT_PLANNERS,
@@ -215,6 +277,7 @@ def run_matrix(
     seed: Optional[int] = None,
     planner_config: Optional[PlannerConfig] = None,
     workers: int = 1,
+    backend: str = "thread",
     through_service: bool = False,
     baseline: str = BASELINE_SCENARIO,
 ) -> MatrixResult:
@@ -225,13 +288,21 @@ def run_matrix(
     when absent, because every artifact's KPI deltas are taken against
     the baseline cell of the same (planner, scale).  ``seed`` overrides
     every scale's trace seed (one knob to re-roll the whole matrix);
-    ``workers`` bounds cell-level concurrency; ``through_service``
-    replays every cell's arrivals through a synchronous
-    :class:`~repro.service.AdmissionService` instead of direct
-    ``planner.submit`` calls.
+    ``workers`` bounds cell-level concurrency and ``backend`` picks the
+    execution substrate (``thread`` shares the parent's resolved
+    schedules; ``process`` runs every cell in true process isolation,
+    rebuilding its schedule deterministically in the worker);
+    ``through_service`` replays every cell's arrivals through a
+    synchronous :class:`~repro.service.AdmissionService` instead of
+    direct ``planner.submit`` calls.
     """
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{BACKENDS}"
+        )
     registry = registry if registry is not None else SCENARIO_MATRIX
     scale_registry = (
         scale_registry if scale_registry is not None else MATRIX_SCALES
@@ -280,12 +351,46 @@ def run_matrix(
         for planner in planners
     ]
     # Baselines first — every other cell's deltas need them pinned.
-    completed = map_in_pool(
-        run_cell, baseline_cells, workers=workers, thread_name_prefix="matrix"
-    )
-    completed += map_in_pool(
-        run_cell, other_cells, workers=workers, thread_name_prefix="matrix"
-    )
+    if backend == "process":
+        def to_payload(key: Tuple[str, str, str]):
+            expression, planner_name, scale_name = key
+            resolved, _, _ = resolved_pairs[(expression, scale_name)]
+            return (
+                expression,
+                planner_name,
+                scale_name,
+                resolved,
+                planner_config,
+                through_service,
+            )
+
+        completed = map_in_pool(
+            _run_cell_task,
+            [to_payload(key) for key in baseline_cells],
+            workers=workers,
+            backend="process",
+        )
+        completed += map_in_pool(
+            _run_cell_task,
+            [to_payload(key) for key in other_cells],
+            workers=workers,
+            backend="process",
+        )
+    else:
+        completed = map_in_pool(
+            run_cell,
+            baseline_cells,
+            workers=workers,
+            thread_name_prefix="matrix",
+            backend=backend,
+        )
+        completed += map_in_pool(
+            run_cell,
+            other_cells,
+            workers=workers,
+            thread_name_prefix="matrix",
+            backend=backend,
+        )
 
     by_key = {key: (artifact, result) for key, artifact, result in completed}
     baselines = {
@@ -293,7 +398,13 @@ def run_matrix(
         for scale_name in scales
         for planner in planners
     }
-    sweep = MatrixResult()
+    sweep = MatrixResult(
+        nondeterministic_scales=frozenset(
+            scale_name
+            for scale_name in scales
+            if not scale_registry[scale_name].deterministic
+        )
+    )
     for scale_name in scales:
         for expression in scenario_list:
             for planner in planners:
@@ -304,6 +415,41 @@ def run_matrix(
                 sweep.artifacts[artifact.cell_id] = artifact
                 sweep.results[artifact.cell_id] = result
     return sweep
+
+
+def diff_kpi_reference(
+    expected: Mapping[str, Any],
+    sweep: MatrixResult,
+    scale_registry: Optional[Mapping[str, MatrixScale]] = None,
+) -> List[str]:
+    """KPI-band drift of a sweep's non-deterministic cells vs a reference.
+
+    Each non-deterministic scale is checked against its own tolerance
+    map (:attr:`MatrixScale.kpi_tolerances`); deterministic scales are
+    covered by the golden fingerprints and skipped here.
+    """
+    scale_registry = (
+        scale_registry if scale_registry is not None else MATRIX_SCALES
+    )
+    problems: List[str] = []
+    for scale_name in sorted(sweep.nondeterministic_scales):
+        scale = scale_registry[scale_name]
+        artifacts = {
+            cid: artifact
+            for cid, artifact in sweep.artifacts.items()
+            if artifact.scale == scale_name
+        }
+        expected_cells = {
+            cid: kpis
+            for cid, kpis in expected.get("cells", {}).items()
+            if cid.rsplit("/", 1)[-1] == scale_name
+        }
+        problems.extend(
+            diff_kpi_bands(
+                {"cells": expected_cells}, artifacts, scale.tolerance_map()
+            )
+        )
+    return problems
 
 
 def generate_golden_matrix(
@@ -352,6 +498,21 @@ def _main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
+        "--backend",
+        default="thread",
+        choices=list(BACKENDS),
+        help="cell execution backend; 'process' runs each cell in its "
+        "own forked worker (true multicore)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-solve time limit (required practice for the "
+        "non-deterministic 'large' scale)",
+    )
+    parser.add_argument(
         "--service",
         action="store_true",
         help="replay every cell through a synchronous AdmissionService",
@@ -369,6 +530,19 @@ def _main(argv: Optional[Sequence[str]] = None) -> None:
         metavar="PATH",
         help="write the sweep's golden fixture to PATH and exit cleanly",
     )
+    parser.add_argument(
+        "--check-kpi-ref",
+        default=None,
+        metavar="PATH",
+        help="fail when non-deterministic-scale KPIs leave the "
+        "tolerance bands of this reference",
+    )
+    parser.add_argument(
+        "--write-kpi-ref",
+        default=None,
+        metavar="PATH",
+        help="write the non-deterministic-scale KPI reference to PATH",
+    )
     args = parser.parse_args(argv)
 
     scenarios = args.scenarios or list(MATRIX_REGIMES)
@@ -378,6 +552,12 @@ def _main(argv: Optional[Sequence[str]] = None) -> None:
         scales=args.scales,
         seed=args.seed,
         workers=args.workers,
+        backend=args.backend,
+        planner_config=(
+            PlannerConfig(time_limit=args.time_limit)
+            if args.time_limit is not None
+            else None
+        ),
         through_service=args.service,
     )
 
@@ -416,6 +596,25 @@ def _main(argv: Optional[Sequence[str]] = None) -> None:
             sweep.golden_json(), encoding="utf-8"
         )
         print(f"golden fixture written to {args.write_golden}")
+    if args.write_kpi_ref:
+        Path(args.write_kpi_ref).write_text(
+            json.dumps(sweep.kpi_band_payload(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"KPI reference written to {args.write_kpi_ref}")
+    if args.check_kpi_ref:
+        expected = json.loads(
+            Path(args.check_kpi_ref).read_text(encoding="utf-8")
+        )
+        band_drift = diff_kpi_reference(expected, sweep)
+        if band_drift:
+            print(f"KPI BAND DRIFT vs {args.check_kpi_ref}:")
+            for line in band_drift:
+                print(f"  {line}")
+            failures.extend(band_drift)
+        else:
+            print(f"KPIs within tolerance bands of {args.check_kpi_ref}")
     if args.check_golden:
         expected = json.loads(
             Path(args.check_golden).read_text(encoding="utf-8")

@@ -33,7 +33,14 @@ class Variable:
     models never alias.
     """
 
-    __slots__ = ("name", "var_type", "lower", "upper", "index")
+    __slots__ = (
+        "name",
+        "var_type",
+        "_lower",
+        "_upper",
+        "index",
+        "_on_bounds_change",
+    )
 
     def __init__(
         self,
@@ -55,9 +62,43 @@ class Variable:
             )
         self.name = name
         self.var_type = var_type
-        self.lower = lower
-        self.upper = upper
+        self._lower = lower
+        self._upper = upper
         self.index = index
+        # Owning models hook this to bump their structural revision when a
+        # bound changes, so cached standard forms are invalidated (bound
+        # mutation used to bypass the revision counter silently).
+        self._on_bounds_change: Optional[callable] = None
+
+    # -- bounds -------------------------------------------------------------------
+    def _set_bounds(self, lower: float, upper: float) -> None:
+        if lower > upper:
+            raise ModelError(
+                f"variable {self.name!r} has empty domain [{lower}, {upper}]"
+            )
+        changed = lower != self._lower or upper != self._upper
+        self._lower = lower
+        self._upper = upper
+        if changed and self._on_bounds_change is not None:
+            self._on_bounds_change()
+
+    @property
+    def lower(self) -> float:
+        """Lower bound; assignment notifies the owning model's revision."""
+        return self._lower
+
+    @lower.setter
+    def lower(self, value: Number) -> None:
+        self._set_bounds(float(value), self._upper)
+
+    @property
+    def upper(self) -> float:
+        """Upper bound; assignment notifies the owning model's revision."""
+        return self._upper
+
+    @upper.setter
+    def upper(self, value: Number) -> None:
+        self._set_bounds(self._lower, float(value))
 
     # -- conversion to expressions ------------------------------------------------
     def to_expr(self) -> "LinExpr":

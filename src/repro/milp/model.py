@@ -77,6 +77,9 @@ class Model:
         if name in self._by_name:
             raise ModelError(f"variable {name!r} already exists in model {self.name!r}")
         var = Variable(name, var_type, lower, upper, index=len(self._variables))
+        # Bound mutation after registration is structural: hook it into the
+        # revision counter so cached standard forms are invalidated.
+        var._on_bounds_change = self._bump_revision
         self._variables.append(var)
         self._by_name[name] = var
         self._bump_revision()

@@ -25,9 +25,11 @@ same :class:`StandardForm` until the model is structurally modified (see
 The two-stage planner, the branch-and-bound solver and warm-start
 feasibility checks all lower the same model, so the cache removes repeated
 O(nnz) passes from the planning hot path.  Mutating ``Variable.lower`` /
-``Variable.upper`` directly after a solve bypasses the revision counter —
-use :meth:`Model.fix_var` (or rebuild the model), which invalidates the
-cache.
+``Variable.upper`` after a solve is safe: bound assignment on a registered
+variable routes through a revision-bumping setter, so the cached
+:class:`StandardForm` is invalidated exactly like any other structural
+edit (:meth:`Model.fix_var` remains the way to fix a variable without
+touching its declared bounds).
 """
 
 from __future__ import annotations

@@ -194,6 +194,63 @@ def golden_json(artifacts: Mapping[str, CellArtifact]) -> str:
     )
 
 
+def kpi_band_payload(artifacts: Mapping[str, CellArtifact]) -> Dict[str, Any]:
+    """Reference-KPI fixture body for non-deterministic scale tiers.
+
+    Tiers running under a solver time limit cannot pin determinism
+    fingerprints (the incumbent at timeout is machine-dependent), so
+    their regression contract is every cell's KPI vector, checked back
+    within relative tolerance bands by :func:`diff_kpi_bands`.
+    """
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "cells": {
+            cid: {key: artifact.kpis[key] for key in sorted(artifact.kpis)}
+            for cid, artifact in sorted(artifacts.items())
+        },
+    }
+
+
+def diff_kpi_bands(
+    expected: Mapping[str, Any],
+    artifacts: Mapping[str, CellArtifact],
+    tolerances: Mapping[str, float],
+) -> List[str]:
+    """Drift list between a KPI reference and a sweep, within tolerances.
+
+    ``tolerances`` maps KPI name to the accepted relative deviation; a
+    KPI absent from the map is not checked.  The band for reference
+    value ``v`` is ``tol * max(1, |v|)`` — the absolute floor keeps
+    near-zero references from demanding exact equality.  Missing and
+    unexpected cells are reported like :func:`diff_golden`.
+    """
+    problems: List[str] = []
+    expected_cells: Mapping[str, Mapping[str, float]] = expected.get(
+        "cells", {}
+    )
+    for cid, reference in sorted(expected_cells.items()):
+        artifact = artifacts.get(cid)
+        if artifact is None:
+            problems.append(f"cell {cid} missing from this sweep")
+            continue
+        for key, tolerance in sorted(tolerances.items()):
+            if key not in reference:
+                continue
+            value = artifact.kpis.get(key)
+            if value is None:
+                problems.append(f"cell {cid} reports no KPI {key!r}")
+                continue
+            band = tolerance * max(1.0, abs(reference[key]))
+            if abs(value - reference[key]) > band:
+                problems.append(
+                    f"cell {cid} KPI {key!r} out of band: expected "
+                    f"{reference[key]:g} ± {band:g}, got {value:g}"
+                )
+    for cid in sorted(set(artifacts) - set(expected_cells)):
+        problems.append(f"cell {cid} not present in the KPI reference")
+    return problems
+
+
 def diff_golden(
     expected: Mapping[str, Any], artifacts: Mapping[str, CellArtifact]
 ) -> List[str]:

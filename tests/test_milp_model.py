@@ -139,6 +139,33 @@ class TestStandardForm:
         with pytest.raises(ModelError):
             to_standard_form(Model())
 
+    def test_bound_mutation_invalidates_cached_form(self):
+        # Regression: assigning Variable.upper/.lower after a solve used
+        # to bypass Model.revision, silently serving the stale cached
+        # StandardForm with the old bounds.
+        model = build_toy_model()
+        x = model.get_var("x")
+        stale = to_standard_form(model)
+        revision = model.revision
+        x.upper = 0.0
+        assert model.revision > revision
+        fresh = to_standard_form(model)
+        assert fresh is not stale
+        assert fresh.upper[fresh.index_of(x)] == pytest.approx(0.0)
+
+    def test_bound_mutation_noop_keeps_cache(self):
+        model = build_toy_model()
+        x = model.get_var("x")
+        form = to_standard_form(model)
+        x.upper = x.upper  # unchanged value: no structural edit
+        assert to_standard_form(model) is form
+
+    def test_empty_domain_assignment_rejected(self):
+        model = build_toy_model()
+        x = model.get_var("x")
+        with pytest.raises(ModelError, match="empty domain"):
+            x.lower = x.upper + 1.0
+
     def test_model_objective_round_trip(self):
         model = build_toy_model()
         form = to_standard_form(model)
